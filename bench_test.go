@@ -1,0 +1,301 @@
+package pargraph
+
+// One benchmark per paper artifact (Fig. 1, Fig. 2, Table 1, the §5
+// summary ratios, the §3 saturation claim) plus the DESIGN.md ablations
+// and real wall-clock benchmarks of the native kernels. The simulated
+// benchmarks report the simulated machine time as "sim_s/op" alongside
+// the host time; EXPERIMENTS.md records the shapes.
+
+import (
+	"testing"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/euler"
+	"pargraph/internal/graph"
+	"pargraph/internal/harness"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/msf"
+	"pargraph/internal/mta"
+	"pargraph/internal/rng"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+	"pargraph/internal/spantree"
+	"pargraph/internal/treecon"
+)
+
+const (
+	benchListN  = 1 << 17
+	benchGraphN = 1 << 13
+	benchProcs  = 8
+)
+
+// --- Fig. 1: list ranking ---------------------------------------------
+
+func benchFig1(b *testing.B, machine Machine, layout Layout) {
+	b.Helper()
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		res := SimulateListRank(machine, benchListN, layout, benchProcs, 1)
+		simSeconds = res.Seconds
+	}
+	b.ReportMetric(simSeconds, "sim_s/op")
+}
+
+func BenchmarkFig1_MTA_Ordered(b *testing.B) { benchFig1(b, MTA, Ordered) }
+func BenchmarkFig1_MTA_Random(b *testing.B)  { benchFig1(b, MTA, Random) }
+func BenchmarkFig1_SMP_Ordered(b *testing.B) { benchFig1(b, SMP, Ordered) }
+func BenchmarkFig1_SMP_Random(b *testing.B)  { benchFig1(b, SMP, Random) }
+
+// --- Fig. 2: connected components -------------------------------------
+
+func benchFig2(b *testing.B, machine Machine) {
+	b.Helper()
+	g := RandomGraph(benchGraphN, 8*benchGraphN, 2)
+	b.ResetTimer()
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		res := SimulateComponents(machine, g, benchProcs)
+		simSeconds = res.Seconds
+	}
+	b.ReportMetric(simSeconds, "sim_s/op")
+}
+
+func BenchmarkFig2_MTA(b *testing.B) { benchFig2(b, MTA) }
+func BenchmarkFig2_SMP(b *testing.B) { benchFig2(b, SMP) }
+
+// --- Table 1: MTA utilization ------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	p := harness.DefaultTable1(harness.Small)
+	p.ListN = benchListN
+	p.GraphN = benchGraphN
+	p.GraphM = 20 * benchGraphN
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunTable1(p)
+		util = res.Rows[0].Utilization[len(res.Rows[0].Utilization)-1]
+	}
+	b.ReportMetric(util*100, "util_%")
+}
+
+// --- E4: headline summary ----------------------------------------------
+
+func BenchmarkSummary(b *testing.B) {
+	f1p := harness.DefaultFig1(harness.Small)
+	f1p.Sizes = []int{benchListN}
+	f2p := harness.DefaultFig2(harness.Small)
+	f2p.N = benchGraphN
+	f2p.EdgeFactors = []int{4, 20}
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		f1, err := harness.RunFig1(f1p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f2, err := harness.RunFig2(f2p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err := harness.Summarize(f1, f2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = sum.Ratios[1].Measured // random-list SMP/MTA advantage
+	}
+	b.ReportMetric(adv, "mta_advantage_x")
+}
+
+// --- E5: saturation ------------------------------------------------------
+
+func BenchmarkSaturation(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunSaturation([]int{benchProcs}, []int{10000}, 3)
+		util = res.Rows[0].Utilization
+	}
+	b.ReportMetric(util*100, "util_%")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblScheduling(1<<15, benchProcs, 7)
+	}
+}
+
+func BenchmarkAblationHashing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblHashing(1<<16, benchProcs)
+	}
+}
+
+func BenchmarkAblationSublists(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblSublists(1<<15, benchProcs, []int{1, 8, 64}, 5)
+	}
+}
+
+func BenchmarkAblationShortcut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblShortcut(1<<11, 8, benchProcs, 9)
+	}
+}
+
+func BenchmarkAblationCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblCache(1<<17, 1, []int{1, 4, 16}, 11)
+	}
+}
+
+// --- Native kernels (real wall-clock) ------------------------------------
+
+func BenchmarkNativeSequentialRank(b *testing.B) {
+	l := list.New(benchListN, list.Random, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		listrank.Sequential(l)
+	}
+}
+
+func BenchmarkNativeHelmanJaja(b *testing.B) {
+	l := list.New(benchListN, list.Random, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		listrank.HelmanJaja(l, benchProcs)
+	}
+}
+
+func BenchmarkNativeWyllie(b *testing.B) {
+	l := list.New(benchListN, list.Random, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		listrank.Wyllie(l, benchProcs)
+	}
+}
+
+func BenchmarkNativeUnionFind(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		concomp.UnionFind(g)
+	}
+}
+
+func BenchmarkNativeSV(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		concomp.SV(g, benchProcs)
+	}
+}
+
+func BenchmarkNativeAwerbuchShiloach(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		concomp.AwerbuchShiloach(g, benchProcs)
+	}
+}
+
+func BenchmarkNativeRandomMate(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		concomp.RandomMate(g, uint64(i))
+	}
+}
+
+// --- Simulator engines themselves ----------------------------------------
+
+func BenchmarkSimulatorMTA(b *testing.B) {
+	l := list.New(benchListN, list.Random, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mta.New(mta.DefaultConfig(benchProcs))
+		listrank.RankMTA(l, m, benchListN/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+	}
+}
+
+func BenchmarkSimulatorSMP(b *testing.B) {
+	l := list.New(benchListN, list.Random, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := smp.New(smp.DefaultConfig(benchProcs))
+		listrank.RankSMP(l, m, 8*benchProcs, 2)
+	}
+}
+
+// --- E6/E7 extras -----------------------------------------------------
+
+func BenchmarkStreamsSweep(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunStreams(1<<15, 1, []int{40, 80}, 3)
+		util = res.Rows[1].Utilization
+	}
+	b.ReportMetric(util*100, "util80_%")
+}
+
+func BenchmarkTreeEval(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunTreeEval([]int{1 << 12}, benchProcs, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = res.Rows[0].SMPSeconds / res.Rows[0].MTASeconds
+	}
+	b.ReportMetric(adv, "mta_advantage_x")
+}
+
+func BenchmarkAblationAssociativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblAssociativity(1<<15, 4, []int{1, 4}, 7)
+	}
+}
+
+func BenchmarkAblationReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RunAblReduction(1<<15, benchProcs)
+	}
+}
+
+func BenchmarkNativeBoruvka(b *testing.B) {
+	g := msf.RandomWGraph(1<<14, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msf.Boruvka(g, benchProcs)
+	}
+}
+
+func BenchmarkNativeSpanningTree(b *testing.B) {
+	g := graph.RandomGnm(1<<14, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spantree.Parallel(g, benchProcs)
+	}
+}
+
+func BenchmarkNativeTreeContraction(b *testing.B) {
+	e := treecon.RandomExpr(1<<14, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		treecon.EvalContract(e, benchProcs)
+	}
+}
+
+func BenchmarkEulerRoot(b *testing.B) {
+	r := rng.New(1)
+	edges := make([]graph.Edge, 0, 1<<14)
+	for i := 1; i < 1<<14; i++ {
+		edges = append(edges, graph.Edge{U: int32(r.Intn(i)), V: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := euler.Root(1<<14, edges, 0, benchProcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

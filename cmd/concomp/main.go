@@ -1,0 +1,160 @@
+// Command concomp runs the paper's connected-components kernel
+// (Shiloach–Vishkin) on a chosen machine and reports time, utilization,
+// and the component count.
+//
+// Usage:
+//
+//	concomp -n 1048576 -m 4194304 -machine mta -p 8
+//	concomp -gen mesh2d -rows 1024 -cols 1024 -machine smp -p 4
+//	concomp -n 1048576 -m 8388608 -machine native -p 8
+//	concomp -n 1048576 -m 8388608 -machine seq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/gio"
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) *graph.Graph {
+	switch gen {
+	case "gnm":
+		return graph.RandomGnm(n, m, seed)
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return graph.RMAT(scale, m, seed)
+	case "mesh2d":
+		return graph.Mesh2D(rows, cols)
+	case "mesh3d":
+		return graph.Mesh3D(rows, cols, depth)
+	case "torus":
+		return graph.Torus2D(rows, cols)
+	default:
+		log.Fatalf("unknown generator %q", gen)
+		return nil
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("concomp: ")
+	var (
+		gen     = flag.String("gen", "gnm", "graph generator: gnm, rmat, mesh2d, mesh3d, torus")
+		n       = flag.Int("n", 1<<18, "vertices (gnm)")
+		m       = flag.Int("m", 4<<18, "edges (gnm)")
+		rows    = flag.Int("rows", 512, "rows (mesh/torus)")
+		cols    = flag.Int("cols", 512, "cols (mesh/torus)")
+		depth   = flag.Int("depth", 8, "depth (mesh3d)")
+		machine = flag.String("machine", "mta", "machine: mta, mta-star, smp, native, as, randmate, hybrid, seq, bfs")
+		procs   = flag.Int("p", 8, "processors (goroutines for native)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		verify  = flag.Bool("verify", true, "cross-check against union-find")
+		inFile  = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
+		outFile = flag.String("out", "", "also write the graph to a DIMACS `p edge` file")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = gio.ReadDIMACS(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		g = buildGraph(*gen, *n, *m, *rows, *cols, *depth, *seed)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gio.WriteDIMACS(f, g); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("graph: %s n=%d m=%d\n", *gen, g.N, g.M())
+
+	var labels []int32
+	switch *machine {
+	case "mta", "mta-star":
+		mm := mta.New(mta.DefaultConfig(*procs))
+		if *machine == "mta" {
+			labels = concomp.LabelMTA(g, mm, sim.SchedDynamic)
+		} else {
+			labels = concomp.LabelMTAStarCheck(g, mm, sim.SchedDynamic)
+		}
+		st := mm.Stats()
+		fmt.Printf("machine=%s p=%d\n", *machine, *procs)
+		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
+		fmt.Printf("utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
+			mm.Utilization()*100, st.Refs, st.Regions, st.Barriers)
+	case "smp":
+		sm := smp.New(smp.DefaultConfig(*procs))
+		labels = concomp.LabelSMP(g, sm)
+		st := sm.Stats()
+		total := st.L1Hits + st.L2Hits + st.Misses
+		fmt.Printf("machine=SMP p=%d\n", *procs)
+		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", sm.Seconds(), sm.Cycles())
+		fmt.Printf("refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
+			total,
+			100*float64(st.L1Hits)/float64(total),
+			100*float64(st.L2Hits)/float64(total),
+			100*float64(st.Misses)/float64(total),
+			st.Barriers)
+	case "native":
+		start := time.Now()
+		labels = concomp.SV(g, *procs)
+		fmt.Printf("machine=native(goroutines,SV) p=%d wall=%.6f s\n", *procs, time.Since(start).Seconds())
+	case "as":
+		start := time.Now()
+		labels = concomp.AwerbuchShiloach(g, *procs)
+		fmt.Printf("machine=native(Awerbuch-Shiloach) p=%d wall=%.6f s\n", *procs, time.Since(start).Seconds())
+	case "randmate":
+		start := time.Now()
+		labels = concomp.RandomMate(g, *seed)
+		fmt.Printf("machine=random-mating wall=%.6f s\n", time.Since(start).Seconds())
+	case "hybrid":
+		start := time.Now()
+		labels = concomp.Hybrid(g, *seed)
+		fmt.Printf("machine=hybrid(random-mate+graft) wall=%.6f s\n", time.Since(start).Seconds())
+	case "seq":
+		start := time.Now()
+		labels = concomp.UnionFind(g)
+		fmt.Printf("machine=sequential(union-find) wall=%.6f s\n", time.Since(start).Seconds())
+	case "bfs":
+		start := time.Now()
+		labels = concomp.BFS(g)
+		fmt.Printf("machine=sequential(BFS) wall=%.6f s\n", time.Since(start).Seconds())
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	fmt.Printf("components: %d\n", graph.CountComponents(labels))
+	if *verify {
+		if !graph.SameComponents(labels, concomp.UnionFind(g)) {
+			log.Print("VERIFICATION FAILED: partition disagrees with union-find")
+			os.Exit(1)
+		}
+		fmt.Println("components verified ok")
+	}
+}

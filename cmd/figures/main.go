@@ -1,0 +1,226 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section, plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	figures -all                 # everything at the default scale
+//	figures -fig 1               # Fig. 1 (list ranking, both machines)
+//	figures -fig 2               # Fig. 2 (connected components)
+//	figures -table 1             # Table 1 (MTA utilization)
+//	figures -summary             # §5 headline ratios (E4)
+//	figures -exp saturation      # §3 saturation claim (E5)
+//	figures -exp streams         # §2.2 streams claim (E6)
+//	figures -exp treeeval        # future work: tree contraction (E7)
+//	figures -exp sched|hashing|sublists|shortcut|cache|assoc|reduction
+//	figures -scale small|medium|paper
+//	figures -all -json           # machine-readable output
+//	figures -fig 1 -csv          # long-format CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pargraph/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (1 or 2)")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		summary  = flag.Bool("summary", false, "print the §5 headline ratios")
+		exp      = flag.String("exp", "", "extra experiment: saturation, streams, sched, hashing, sublists, shortcut, cache, assoc, reduction, treeeval")
+		all      = flag.Bool("all", false, "run everything")
+		scaleS   = flag.String("scale", "small", "problem scale: small, medium, or paper")
+		jsonFlag = flag.Bool("json", false, "emit results as JSON instead of tables")
+		csvFlag  = flag.Bool("csv", false, "emit figure/table results as CSV instead of tables")
+	)
+	flag.Parse()
+
+	scale, err := harness.ParseScale(*scaleS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+
+	if !*all && *fig == 0 && *table == 0 && !*summary && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*fig != 0) && *fig != 1 && *fig != 2 {
+		log.Fatalf("no figure %d in the paper", *fig)
+	}
+	if *table != 0 && *table != 1 {
+		log.Fatalf("no table %d in the paper", *table)
+	}
+
+	if *jsonFlag && *csvFlag {
+		log.Fatal("choose one of -json and -csv")
+	}
+	rep := &harness.Report{}
+	text := !*jsonFlag && !*csvFlag
+
+	runFig1 := func() *harness.Fig1Result {
+		if rep.Fig1 == nil {
+			res, err := harness.RunFig1(harness.DefaultFig1(scale))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Fig1 = res
+		}
+		return rep.Fig1
+	}
+	runFig2 := func() *harness.Fig2Result {
+		if rep.Fig2 == nil {
+			res, err := harness.RunFig2(harness.DefaultFig2(scale))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Fig2 = res
+		}
+		return rep.Fig2
+	}
+
+	if *all || *fig == 1 {
+		r := runFig1()
+		if text {
+			r.WriteText(out)
+		}
+		if *csvFlag {
+			if err := r.WriteCSV(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *all || *fig == 2 {
+		r := runFig2()
+		if text {
+			r.WriteText(out)
+		}
+		if *csvFlag {
+			if err := r.WriteCSV(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *all || *table == 1 {
+		rep.Table1 = harness.RunTable1(harness.DefaultTable1(scale))
+		if text {
+			rep.Table1.WriteText(out)
+		}
+		if *csvFlag {
+			if err := rep.Table1.WriteCSV(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *all || *summary {
+		sum, err := harness.Summarize(runFig1(), runFig2())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Summary = sum
+		if text {
+			sum.WriteText(out)
+		}
+	}
+
+	exps := map[string]func() interface{}{
+		"saturation": func() interface{} {
+			rep.Saturation = harness.RunSaturation([]int{1, 2, 4, 8}, []int{100, 1000, 10000}, 7)
+			return rep.Saturation
+		},
+		"streams": func() interface{} {
+			rep.Streams = harness.RunStreams(sizeFor(scale, 1<<16, 1<<19, 1<<21), 1,
+				[]int{1, 2, 4, 8, 16, 40, 80, 128}, 7)
+			return rep.Streams
+		},
+		"sched": func() interface{} {
+			return addAbl(rep, harness.RunAblScheduling(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, 7))
+		},
+		"hashing": func() interface{} {
+			return addAbl(rep, harness.RunAblHashing(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8))
+		},
+		"sublists": func() interface{} {
+			return addAbl(rep, harness.RunAblSublists(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4, 8, 16, 64}, 7))
+		},
+		"shortcut": func() interface{} {
+			return addAbl(rep, harness.RunAblShortcut(sizeFor(scale, 1<<11, 1<<14, 1<<17), 8, 4, 7))
+		},
+		"cache": func() interface{} {
+			return addAbl(rep, harness.RunAblCache(sizeFor(scale, 1<<17, 1<<19, 1<<21), 1, []int{1, 2, 4, 8, 16}, 7))
+		},
+		"assoc": func() interface{} {
+			return addAbl(rep, harness.RunAblAssociativity(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4}, 7))
+		},
+		"reduction": func() interface{} {
+			return addAbl(rep, harness.RunAblReduction(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8))
+		},
+		"treeeval": func() interface{} {
+			sz := sizeFor(scale, 1<<13, 1<<16, 1<<18)
+			res, err := harness.RunTreeEval([]int{sz / 4, sz / 2, sz}, 8, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.TreeEval = res
+			return res
+		},
+	}
+	writeExp := func(res interface{}) {
+		if !text {
+			return
+		}
+		switch v := res.(type) {
+		case *harness.SaturationResult:
+			v.WriteText(out)
+		case *harness.StreamsResult:
+			v.WriteText(out)
+		case *harness.TreeEvalResult:
+			v.WriteText(out)
+		case *harness.AblationResult:
+			v.WriteText(out)
+		}
+	}
+	if *all {
+		for _, name := range []string{"saturation", "streams", "sched", "hashing", "sublists", "shortcut", "cache", "assoc", "reduction", "treeeval"} {
+			writeExp(exps[name]())
+		}
+	} else if *exp != "" {
+		run, ok := exps[*exp]
+		if !ok {
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+		writeExp(run())
+	}
+
+	if *jsonFlag {
+		if err := rep.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *csvFlag {
+		return
+	}
+	fmt.Fprintln(out, "done.")
+}
+
+func addAbl(rep *harness.Report, a *harness.AblationResult) *harness.AblationResult {
+	rep.Ablations = append(rep.Ablations, a)
+	return a
+}
+
+func sizeFor(s harness.Scale, small, medium, paper int) int {
+	switch s {
+	case harness.Small:
+		return small
+	case harness.Medium:
+		return medium
+	default:
+		return paper
+	}
+}

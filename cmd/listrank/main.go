@@ -1,0 +1,118 @@
+// Command listrank runs the paper's list-ranking kernel on a chosen
+// machine and reports time and (for the MTA) processor utilization.
+//
+// Usage:
+//
+//	listrank -n 1048576 -layout random -machine mta -p 8
+//	listrank -n 1048576 -layout ordered -machine smp -p 4
+//	listrank -n 1048576 -machine native -p 8     # real goroutines, wall clock
+//	listrank -n 1048576 -machine seq             # sequential baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("listrank: ")
+	var (
+		n       = flag.Int("n", 1<<20, "list length")
+		layout  = flag.String("layout", "random", "list layout: ordered, clustered, or random")
+		machine = flag.String("machine", "mta", "machine: mta, smp, native, or seq")
+		procs   = flag.Int("p", 8, "processors (goroutines for native)")
+		walks   = flag.Int("nodes-per-walk", listrank.DefaultNodesPerWalk, "MTA list nodes per walk")
+		subl    = flag.Int("sublists-per-proc", 8, "SMP sublists per processor")
+		sched   = flag.String("sched", "dynamic", "MTA loop schedule: dynamic or block")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		verify  = flag.Bool("verify", true, "cross-check ranks against the sequential walk")
+		trace   = flag.Bool("trace", false, "print a per-region execution trace (simulated machines)")
+	)
+	flag.Parse()
+
+	var lay list.Layout
+	switch *layout {
+	case "ordered":
+		lay = list.Ordered
+	case "random":
+		lay = list.Random
+	case "clustered":
+		lay = list.Clustered
+	default:
+		log.Fatalf("unknown layout %q", *layout)
+	}
+	l := list.New(*n, lay, *seed)
+
+	var rank []int64
+	switch *machine {
+	case "mta":
+		s := sim.SchedDynamic
+		if *sched == "block" {
+			s = sim.SchedBlock
+		} else if *sched != "dynamic" {
+			log.Fatalf("unknown schedule %q", *sched)
+		}
+		m := mta.New(mta.DefaultConfig(*procs))
+		if *trace {
+			m.EnableTrace()
+		}
+		rank = listrank.RankMTA(l, m, *n / *walks, s)
+		st := m.Stats()
+		fmt.Printf("machine=MTA p=%d n=%d layout=%s\n", *procs, *n, lay)
+		fmt.Printf("simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
+		fmt.Printf("utilization: %.1f%%  refs=%d instrs=%d regions=%d barriers=%d\n",
+			m.Utilization()*100, st.Refs, st.Instrs, st.Regions, st.Barriers)
+		if *trace {
+			m.WriteTrace(os.Stdout)
+		}
+	case "smp":
+		m := smp.New(smp.DefaultConfig(*procs))
+		if *trace {
+			m.EnableTrace()
+		}
+		rank = listrank.RankSMP(l, m, *subl**procs, *seed^0xfeed)
+		st := m.Stats()
+		total := st.L1Hits + st.L2Hits + st.Misses
+		fmt.Printf("machine=SMP p=%d n=%d layout=%s\n", *procs, *n, lay)
+		fmt.Printf("simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
+		fmt.Printf("refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
+			total,
+			100*float64(st.L1Hits)/float64(total),
+			100*float64(st.L2Hits)/float64(total),
+			100*float64(st.Misses)/float64(total),
+			st.Barriers)
+		if *trace {
+			m.WriteTrace(os.Stdout)
+		}
+	case "native":
+		start := time.Now()
+		rank = listrank.HelmanJaja(l, *procs)
+		fmt.Printf("machine=native(goroutines) p=%d n=%d layout=%s\n", *procs, *n, lay)
+		fmt.Printf("wall clock: %.6f s\n", time.Since(start).Seconds())
+	case "seq":
+		start := time.Now()
+		rank = listrank.Sequential(l)
+		fmt.Printf("machine=sequential n=%d layout=%s\n", *n, lay)
+		fmt.Printf("wall clock: %.6f s\n", time.Since(start).Seconds())
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	if *verify {
+		if err := l.VerifyRanks(rank); err != nil {
+			log.Printf("VERIFICATION FAILED: %v", err)
+			os.Exit(1)
+		}
+		fmt.Println("ranks verified ok")
+	}
+}

@@ -1,0 +1,49 @@
+// Command machines prints the simulated machine configurations — the
+// constants §2 of the paper publishes for the Cray MTA-2 and the Sun
+// E4500 — so experiment logs are self-describing.
+//
+// Usage:
+//
+//	machines [-p 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pargraph/internal/mta"
+	"pargraph/internal/smp"
+)
+
+func main() {
+	procs := flag.Int("p", 8, "processor count to instantiate")
+	flag.Parse()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	m := mta.DefaultConfig(*procs)
+	fmt.Fprintf(tw, "Cray MTA-2 model (internal/mta)\t\n")
+	fmt.Fprintf(tw, "  processors\t%d\n", m.Procs)
+	fmt.Fprintf(tw, "  clock\t%.0f MHz\n", m.ClockMHz)
+	fmt.Fprintf(tw, "  hardware streams/proc\t%d (using %d)\n", m.StreamsPerProc, m.UseStreams)
+	fmt.Fprintf(tw, "  memory latency\t%.0f cycles\n", m.MemLatency)
+	fmt.Fprintf(tw, "  outstanding refs/stream\t%d\n", m.Lookahead)
+	fmt.Fprintf(tw, "  memory banks\t%d (1 ref per %.0f cycles each)\n", m.Banks, m.BankCycle)
+	fmt.Fprintf(tw, "  address hashing\t%v\n", m.HashMemory)
+	fmt.Fprintf(tw, "  barrier\t%.0f cycles\n", m.BarrierCycles)
+	fmt.Fprintf(tw, "  dynamic-loop chunk\t%d iterations per int_fetch_add\n", m.DynChunk)
+	fmt.Fprintf(tw, "\t\n")
+
+	s := smp.DefaultConfig(*procs)
+	fmt.Fprintf(tw, "Sun E4500 model (internal/smp)\t\n")
+	fmt.Fprintf(tw, "  processors\t%d\n", s.Procs)
+	fmt.Fprintf(tw, "  clock\t%.0f MHz\n", s.ClockMHz)
+	fmt.Fprintf(tw, "  L1\t%d KB, %d-byte lines, %d-way, %.0f-cycle hit\n", s.L1Bytes>>10, s.L1Line, s.L1Assoc, s.L1HitCy)
+	fmt.Fprintf(tw, "  L2\t%d MB, %d-byte lines, %d-way, %.0f-cycle hit\n", s.L2Bytes>>20, s.L2Line, s.L2Assoc, s.L2HitCy)
+	fmt.Fprintf(tw, "  memory\t%.0f cycles\n", s.MemCy)
+	fmt.Fprintf(tw, "  bus\t%.1f bytes/cycle (%.2f GB/s)\n", s.BusBPC, s.BusBPC*s.ClockMHz*1e6/1e9)
+	fmt.Fprintf(tw, "  barrier\t%.0f + %.0f·p cycles\n", s.BarrierCy, s.BarrierPP)
+	tw.Flush()
+}

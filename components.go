@@ -1,0 +1,83 @@
+package pargraph
+
+import (
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+)
+
+// Edge is one undirected edge between vertex ids.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is an undirected graph as an edge list over vertices 0..N-1,
+// the input representation of Shiloach–Vishkin.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+func (g Graph) internal() *graph.Graph {
+	edges := make([]graph.Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return &graph.Graph{N: g.N, Edges: edges}
+}
+
+func fromInternal(g *graph.Graph) Graph {
+	edges := make([]Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = Edge{U: e.U, V: e.V}
+	}
+	return Graph{N: g.N, Edges: edges}
+}
+
+// RandomGraph generates a random graph with n vertices and m distinct
+// edges by uniform sampling without replacement — the LEDA-style
+// generator the paper's Fig. 2 uses.
+func RandomGraph(n, m int, seed uint64) Graph {
+	return fromInternal(graph.RandomGnm(n, m, seed))
+}
+
+// MeshGraph generates the rows×cols grid with 4-neighbor connectivity,
+// the regular topology of the prior studies the paper discusses.
+func MeshGraph(rows, cols int) Graph {
+	return fromInternal(graph.Mesh2D(rows, cols))
+}
+
+// Mesh3DGraph generates the x×y×z grid with 6-neighbor connectivity.
+func Mesh3DGraph(x, y, z int) Graph {
+	return fromInternal(graph.Mesh3D(x, y, z))
+}
+
+// TorusGraph generates the rows×cols torus (grid with wraparound).
+func TorusGraph(rows, cols int) Graph {
+	return fromInternal(graph.Torus2D(rows, cols))
+}
+
+// Components labels connected components with the parallel
+// Shiloach–Vishkin algorithm on procs goroutines. Vertices u and v are
+// in the same component iff labels[u] == labels[v].
+func Components(g Graph, procs int) []int32 {
+	return concomp.SV(g.internal(), procs)
+}
+
+// ComponentsSequential labels components with the best sequential
+// algorithm (union-find), the baseline the paper measures speedup
+// against.
+func ComponentsSequential(g Graph) []int32 {
+	return concomp.UnionFind(g.internal())
+}
+
+// CountComponents returns the number of distinct components in a
+// labeling.
+func CountComponents(labels []int32) int {
+	return graph.CountComponents(labels)
+}
+
+// SameComponents reports whether two labelings induce the same partition
+// of the vertices, regardless of which representative each chose.
+func SameComponents(a, b []int32) bool {
+	return graph.SameComponents(a, b)
+}

@@ -1,0 +1,36 @@
+// Package pargraph is a library-scale reproduction of
+//
+//	D. A. Bader, G. Cong, J. Feo.
+//	"On the Architectural Requirements for Efficient Execution of Graph
+//	Algorithms", ICPP 2005.
+//
+// The paper compares two irregular graph kernels — list ranking and
+// Shiloach–Vishkin connected components — on two shared-memory
+// architectures: a cache-based symmetric multiprocessor (a Sun E4500)
+// and the cacheless, latency-tolerant Cray MTA-2. This module contains
+//
+//   - native, goroutine-parallel implementations of both kernels and
+//     their sequential baselines (this package's exported API);
+//   - simulators for both machine classes (internal/mta, internal/smp)
+//     driven by faithful ports of the paper's algorithms, which
+//     regenerate every figure and table in the paper's evaluation; and
+//   - an experiment harness (cmd/figures) plus runnable examples.
+//
+// The exported API here is the stable surface: list and graph
+// construction, the native algorithms, and one-call simulations of the
+// paper's experiments. The internal packages are the machinery.
+//
+// # Quick start
+//
+//	l := pargraph.NewRandomList(1<<20, 42)
+//	ranks := pargraph.RankList(l.Succ, l.Head, runtime.NumCPU())
+//
+//	g := pargraph.RandomGraph(1<<20, 8<<20, 7)
+//	labels := pargraph.Components(g, runtime.NumCPU())
+//
+//	// The paper's experiment in one call: the same kernel on both
+//	// simulated machines.
+//	mta := pargraph.SimulateListRank(pargraph.MTA, 1<<20, pargraph.Random, 8, 1)
+//	smp := pargraph.SimulateListRank(pargraph.SMP, 1<<20, pargraph.Random, 8, 1)
+//	fmt.Printf("MTA %.3fs vs SMP %.3fs\n", mta.Seconds, smp.Seconds)
+package pargraph

@@ -1,0 +1,39 @@
+// Archcompare reruns the paper's core experiment in miniature: the same
+// two kernels on both simulated machines, printing the comparison the
+// paper's §5 makes — the MTA is insensitive to memory layout and beats
+// the cache-based SMP by an order of magnitude on irregular access
+// patterns, because its performance depends only on parallelism.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pargraph"
+)
+
+func main() {
+	const n = 1 << 18
+	const procs = 8
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tMTA\tSMP\tSMP/MTA")
+
+	for _, layout := range []pargraph.Layout{pargraph.Ordered, pargraph.Random} {
+		mta := pargraph.SimulateListRank(pargraph.MTA, n, layout, procs, 1)
+		smp := pargraph.SimulateListRank(pargraph.SMP, n, layout, procs, 1)
+		fmt.Fprintf(tw, "list ranking, %s list (n=%d)\t%.4fs\t%.4fs\t%.1fx\n",
+			layout, n, mta.Seconds, smp.Seconds, smp.Seconds/mta.Seconds)
+	}
+
+	g := pargraph.RandomGraph(n/4, n, 3)
+	mta := pargraph.SimulateComponents(pargraph.MTA, g, procs)
+	smp := pargraph.SimulateComponents(pargraph.SMP, g, procs)
+	fmt.Fprintf(tw, "connected components G(%d,%d)\t%.4fs\t%.4fs\t%.1fx\n",
+		g.N, len(g.Edges), mta.Seconds, smp.Seconds, smp.Seconds/mta.Seconds)
+	tw.Flush()
+
+	fmt.Printf("\nMTA utilization on the random list: %.0f%% — performance is a function of parallelism.\n",
+		pargraph.SimulateListRank(pargraph.MTA, n, pargraph.Random, procs, 1).Utilization*100)
+}

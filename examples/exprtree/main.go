@@ -1,0 +1,61 @@
+// Exprtree evaluates arithmetic expression trees by parallel tree
+// contraction — the application chain the paper's introduction builds on
+// list ranking: Euler tour → list ranking → leaf numbering → rake. The
+// example evaluates a large random expression and a pathologically
+// unbalanced one (a linear chain of additions), where contraction's
+// O(log n) rounds shine against the O(n)-depth naive recursion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pargraph"
+)
+
+func main() {
+	procs := runtime.NumCPU()
+
+	// A large random expression.
+	const leaves = 1 << 18
+	e := pargraph.RandomExpression(leaves, 2025)
+	start := time.Now()
+	seq := pargraph.EvalExpressionSequential(e)
+	seqT := time.Since(start)
+	start = time.Now()
+	par := pargraph.EvalExpression(e, procs)
+	parT := time.Since(start)
+	if seq != par {
+		log.Fatalf("evaluators disagree: %d vs %d", seq, par)
+	}
+	fmt.Printf("random expression, %d leaves: value %d (mod %d)\n", leaves, par, pargraph.ExprModulus)
+	fmt.Printf("  sequential %.1f ms, contraction %.1f ms\n",
+		seqT.Seconds()*1000, parT.Seconds()*1000)
+
+	// A maximally unbalanced chain: (((1+1)+1)+...) with 100k terms.
+	const depth = 100000
+	chain := pargraph.Expression{
+		Op:    make([]pargraph.ExprOp, 2*depth+1),
+		Left:  make([]int32, 2*depth+1),
+		Right: make([]int32, 2*depth+1),
+		Val:   make([]int64, 2*depth+1),
+	}
+	for i := range chain.Left {
+		chain.Left[i], chain.Right[i] = -1, -1
+	}
+	// Node 0 is the root; node i (internal) adds leaf 2i+2 to subtree i+1.
+	for i := 0; i < depth; i++ {
+		chain.Op[i] = pargraph.ExprAdd
+		chain.Left[i] = int32(i + 1)
+		chain.Right[i] = int32(depth + 1 + i)
+		chain.Val[depth+1+i] = 1
+	}
+	chain.Val[depth] = 1 // the deepest leaf
+	v := pargraph.EvalExpression(chain, procs)
+	fmt.Printf("unbalanced +1 chain of depth %d: value %d (want %d)\n", depth, v, depth+1)
+	if v != depth+1 {
+		log.Fatal("chain evaluation wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module pargraph
+
+go 1.22

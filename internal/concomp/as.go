@@ -1,0 +1,140 @@
+package concomp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/par"
+)
+
+// AwerbuchShiloach labels components with the star-check variant of
+// Shiloach–Vishkin — the Alg. 2 family, one of the algorithms in
+// Greiner's comparison. Each iteration grafts tree roots onto
+// smaller-labeled neighbors, then grafts remaining *stars* onto smaller
+// neighbors (the star check is the per-iteration test Alg. 3 eliminates),
+// then shortcuts once rather than fully.
+//
+// Hooks are restricted to strictly smaller labels, which keeps the
+// algorithm correct under asynchronous (arbitrary-CRCW) execution: label
+// values at roots only decrease, so grafts can never form a cycle.
+func AwerbuchShiloach(g *graph.Graph, p int) []int32 {
+	validateInput(g)
+	n := g.N
+	d := make([]int32, n)
+	star := make([]int32, n)
+	for i := range d {
+		d[i] = int32(i)
+	}
+	if n == 0 {
+		return d
+	}
+	limit := 2 * maxIter(n)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			panic(fmt.Sprintf("concomp: AwerbuchShiloach failed to converge after %d iterations", iter))
+		}
+		var changed int32
+
+		// Conditional hooking: graft the root of the larger endpoint.
+		par.For(len(g.Edges), p, func(_, lo, hi int) {
+			local := false
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k]
+				for dir := 0; dir < 2; dir++ {
+					u, v := e.U, e.V
+					if dir == 1 {
+						u, v = v, u
+					}
+					du := atomic.LoadInt32(&d[u])
+					dv := atomic.LoadInt32(&d[v])
+					if dv < du && du == atomic.LoadInt32(&d[du]) {
+						atomic.StoreInt32(&d[du], dv)
+						local = true
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&changed, 1)
+			}
+		})
+
+		computeStars(d, star, p)
+
+		// Star hooking: a vertex still in a star grafts its root onto a
+		// strictly smaller neighbor label.
+		par.For(len(g.Edges), p, func(_, lo, hi int) {
+			local := false
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k]
+				for dir := 0; dir < 2; dir++ {
+					u, v := e.U, e.V
+					if dir == 1 {
+						u, v = v, u
+					}
+					if atomic.LoadInt32(&star[u]) == 0 {
+						continue
+					}
+					du := atomic.LoadInt32(&d[u])
+					dv := atomic.LoadInt32(&d[v])
+					if dv < du {
+						atomic.StoreInt32(&d[du], dv)
+						local = true
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&changed, 1)
+			}
+		})
+
+		// Single shortcut step (pointer jumping, not full compression).
+		par.For(n, p, func(_, lo, hi int) {
+			local := false
+			for i := lo; i < hi; i++ {
+				di := atomic.LoadInt32(&d[i])
+				ddi := atomic.LoadInt32(&d[di])
+				if ddi != di {
+					atomic.StoreInt32(&d[i], ddi)
+					local = true
+				}
+			}
+			if local {
+				atomic.StoreInt32(&changed, 1)
+			}
+		})
+
+		if atomic.LoadInt32(&changed) == 0 {
+			return d
+		}
+	}
+}
+
+// computeStars sets star[i] = 1 iff vertex i belongs to a rooted star —
+// the three-pass test of the original algorithm.
+func computeStars(d, star []int32, p int) {
+	n := len(d)
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&star[i], 1)
+		}
+	})
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := atomic.LoadInt32(&d[i])
+			ddi := atomic.LoadInt32(&d[di])
+			if di != ddi {
+				atomic.StoreInt32(&star[i], 0)
+				atomic.StoreInt32(&star[ddi], 0)
+			}
+		}
+	})
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := atomic.LoadInt32(&d[i])
+			if atomic.LoadInt32(&star[di]) == 0 {
+				atomic.StoreInt32(&star[i], 0)
+			}
+		}
+	})
+}

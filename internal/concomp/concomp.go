@@ -1,0 +1,48 @@
+// Package concomp implements the paper's second kernel (§4): labeling
+// the connected components of an undirected graph.
+//
+// The paper's subject is the Shiloach–Vishkin algorithm (SV), chosen as
+// "representative of the memory access patterns and data structures in
+// graph-theoretic problems". This package provides:
+//
+//   - UnionFind, BFS: the sequential baselines parallel speedups are
+//     measured against (union-find is the best sequential algorithm).
+//   - SV: Shiloach–Vishkin with native goroutine parallelism, in the
+//     Alg. 3 form (graft to a smaller-labeled neighbor's root when that
+//     root is a tree root, then fully shortcut every vertex each
+//     iteration, which eliminates the star check of Alg. 2).
+//   - LabelMTA: Alg. 3 executed against the MTA machine model
+//     (Fig. 2 left, Table 1).
+//   - LabelSMP: the same algorithm against the SMP cache model
+//     (Fig. 2 right).
+//   - AwerbuchShiloach: the star-check variant, one of the algorithms
+//     Greiner's study compared.
+//   - RandomMate: Reif/Phillips-style random-mating contraction, the
+//     other classic CRCW family from the related work.
+//
+// Every implementation returns a label per vertex; two vertices are in
+// the same component iff their labels are equal. Labels are component
+// representatives (vertex ids), but callers should compare partitions,
+// not label values.
+package concomp
+
+import "pargraph/internal/graph"
+
+// maxIter bounds the graft/shortcut loop. SV terminates in O(log n)
+// iterations; hitting the bound means an implementation bug, so exceed
+// it loudly rather than looping forever.
+func maxIter(n int) int {
+	it := 64
+	for s := 1; s < n; s <<= 1 {
+		it++
+	}
+	return it
+}
+
+// validateInput panics on malformed graphs; component labeling of a
+// graph with out-of-range endpoints has no meaning.
+func validateInput(g *graph.Graph) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+}

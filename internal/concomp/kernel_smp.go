@@ -1,0 +1,101 @@
+package concomp
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/smp"
+)
+
+const svElemBytes = 4 // 32-bit vertex ids, as in the paper's C codes
+
+// LabelSMP executes Shiloach–Vishkin against the SMP machine model and
+// returns the component labels. The structure matches LabelMTA — a
+// graft phase over directed edges and a shortcut phase over vertices per
+// iteration — but every reference goes through the simulated cache
+// hierarchy: the edge-array sweep is contiguous while the three D[]
+// accesses per edge are the non-contiguous references the paper's cost
+// analysis counts (two reads and a write in the graft step).
+func LabelSMP(g *graph.Graph, m *smp.Machine) []int32 {
+	validateInput(g)
+	n := g.N
+	procs := m.Config().Procs
+
+	edgeA := m.Alloc(2 * len(g.Edges) * 2 * svElemBytes) // directed pairs
+	dA := m.Alloc(n * svElemBytes)
+	addr := func(base uint64, i int32) uint64 { return base + uint64(i)*svElemBytes }
+
+	d := make([]int32, n)
+	m.Phase(func(p *smp.Proc) {
+		lo, hi := p.ID()*n/procs, (p.ID()+1)*n/procs
+		for i := lo; i < hi; i++ {
+			p.Store(addr(dA, int32(i)))
+			p.Compute(1)
+			d[i] = int32(i)
+		}
+	})
+	m.Barrier()
+	if n == 0 {
+		return d
+	}
+
+	limit := maxIter(n)
+	dirEdges := 2 * len(g.Edges)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			panic(fmt.Sprintf("concomp: LabelSMP failed to converge after %d iterations", iter))
+		}
+		graft := false
+
+		// Graft phase: directed edges partitioned across processors.
+		m.Phase(func(p *smp.Proc) {
+			lo, hi := p.ID()*dirEdges/procs, (p.ID()+1)*dirEdges/procs
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k/2]
+				u, v := e.U, e.V
+				if k&1 == 1 {
+					u, v = v, u
+				}
+				p.Load(addr(edgeA, int32(2*k)))
+				p.Load(addr(edgeA, int32(2*k+1)))
+				p.Load(addr(dA, u))
+				p.Load(addr(dA, v))
+				p.Load(addr(dA, d[v]))
+				p.Compute(4)
+				if d[u] < d[v] && d[v] == d[d[v]] {
+					p.Store(addr(dA, d[v]))
+					d[d[v]] = d[u]
+					graft = true
+				}
+			}
+		})
+		m.Barrier()
+
+		// Shortcut phase: vertices partitioned across processors.
+		m.Phase(func(p *smp.Proc) {
+			lo, hi := p.ID()*n/procs, (p.ID()+1)*n/procs
+			for i := lo; i < hi; i++ {
+				p.Load(addr(dA, int32(i)))
+				di := d[i]
+				p.Compute(1)
+				for {
+					p.Load(addr(dA, di))
+					p.Compute(1)
+					if d[di] == di {
+						break
+					}
+					di = d[di]
+				}
+				if d[i] != di {
+					p.Store(addr(dA, int32(i)))
+					d[i] = di
+				}
+			}
+		})
+		m.Barrier()
+
+		if !graft {
+			return d
+		}
+	}
+}

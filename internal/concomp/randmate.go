@@ -1,0 +1,69 @@
+package concomp
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/rng"
+)
+
+// RandomMate labels components by random-mating graph contraction in the
+// style of Reif and Phillips (the "random-mating" algorithm of Greiner's
+// comparison). Each round flips a coin per component root; across every
+// live edge, a tails root grafts onto a heads neighbor's root, pointers
+// are recompressed, and edges internal to a component are discarded.
+// Expected O(log n) rounds.
+func RandomMate(g *graph.Graph, seed uint64) []int32 {
+	validateInput(g)
+	n := g.N
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = int32(i)
+	}
+	if n == 0 || len(g.Edges) == 0 {
+		return d
+	}
+	r := rng.New(seed)
+	live := make([]graph.Edge, len(g.Edges))
+	copy(live, g.Edges)
+	heads := make([]bool, n)
+
+	limit := 8 * maxIter(n) // randomized; generous slack before declaring a bug
+	for round := 0; len(live) > 0; round++ {
+		if round > limit {
+			panic(fmt.Sprintf("concomp: RandomMate failed to converge after %d rounds", round))
+		}
+		// Flip one coin per vertex; only root coins are consulted.
+		for i := range heads {
+			heads[i] = r.Uint64()&1 == 0
+		}
+		// Mate: tails roots graft onto heads roots across live edges.
+		for _, e := range live {
+			ru, rv := d[e.U], d[e.V]
+			if ru == rv {
+				continue
+			}
+			switch {
+			case !heads[ru] && heads[rv]:
+				d[ru] = rv
+			case !heads[rv] && heads[ru]:
+				d[rv] = ru
+			}
+		}
+		// Recompress: grafted roots are one level deep, so a single jump
+		// per vertex restores the "every vertex points at a root"
+		// invariant.
+		for i := range d {
+			d[i] = d[d[i]]
+		}
+		// Discard contracted edges.
+		out := live[:0]
+		for _, e := range live {
+			if d[e.U] != d[e.V] {
+				out = append(out, e)
+			}
+		}
+		live = out
+	}
+	return d
+}

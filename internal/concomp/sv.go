@@ -1,0 +1,78 @@
+package concomp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/par"
+)
+
+// SV labels components with the Shiloach–Vishkin algorithm using p
+// goroutine workers, in the paper's Alg. 3 form: each iteration grafts
+// the root of the larger-labeled endpoint onto the smaller-labeled
+// endpoint (when that root is still a tree root), then shortcuts every
+// vertex to its root. Grafting races are benign — SV is an arbitrary-CRCW
+// algorithm, any winner is correct — but the implementation uses atomic
+// accesses so it is well-defined under the Go memory model.
+func SV(g *graph.Graph, p int) []int32 {
+	validateInput(g)
+	n := g.N
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = int32(i)
+	}
+	if n == 0 {
+		return d
+	}
+	limit := maxIter(n)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			panic(fmt.Sprintf("concomp: SV failed to converge after %d iterations", iter))
+		}
+		var graft int32
+
+		// Graft step: process each undirected edge in both directions,
+		// exactly as Alg. 3 iterates i < 2m.
+		par.For(len(g.Edges), p, func(_, lo, hi int) {
+			local := false
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k]
+				for dir := 0; dir < 2; dir++ {
+					u, v := e.U, e.V
+					if dir == 1 {
+						u, v = v, u
+					}
+					du := atomic.LoadInt32(&d[u])
+					dv := atomic.LoadInt32(&d[v])
+					if du < dv && dv == atomic.LoadInt32(&d[dv]) {
+						atomic.StoreInt32(&d[dv], du)
+						local = true
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&graft, 1)
+			}
+		})
+
+		// Shortcut step: pointer-jump every vertex to its root.
+		par.For(n, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				di := atomic.LoadInt32(&d[i])
+				for {
+					ddi := atomic.LoadInt32(&d[di])
+					if ddi == di {
+						break
+					}
+					di = ddi
+				}
+				atomic.StoreInt32(&d[i], di)
+			}
+		})
+
+		if atomic.LoadInt32(&graft) == 0 {
+			return d
+		}
+	}
+}

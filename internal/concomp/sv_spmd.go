@@ -1,0 +1,94 @@
+package concomp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/par"
+)
+
+// SVSPMD is Shiloach–Vishkin in the persistent-worker SPMD style of the
+// paper's SMP codes: p goroutines started once, iterating graft/shortcut
+// phases separated by software barriers until a shared flag shows no
+// grafts happened. Results are identical to SV; only the orchestration
+// differs (see HelmanJajaSPMD for why both styles are kept).
+func SVSPMD(g *graph.Graph, p int) []int32 {
+	validateInput(g)
+	if p < 1 {
+		p = 1
+	}
+	n := g.N
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = int32(i)
+	}
+	if n == 0 {
+		return d
+	}
+	limit := maxIter(n)
+	var graft int32
+	var done int32
+	b := par.NewBarrier(p)
+
+	par.Workers(p, func(id int) {
+		elo, ehi := id*len(g.Edges)/p, (id+1)*len(g.Edges)/p
+		vlo, vhi := id*n/p, (id+1)*n/p
+		for iter := 0; ; iter++ {
+			if iter > limit {
+				panic(fmt.Sprintf("concomp: SVSPMD failed to converge after %d iterations", iter))
+			}
+			if id == 0 {
+				atomic.StoreInt32(&graft, 0)
+			}
+			b.Wait()
+
+			// Graft phase over this worker's edges, both directions.
+			local := false
+			for k := elo; k < ehi; k++ {
+				e := g.Edges[k]
+				for dir := 0; dir < 2; dir++ {
+					u, v := e.U, e.V
+					if dir == 1 {
+						u, v = v, u
+					}
+					du := atomic.LoadInt32(&d[u])
+					dv := atomic.LoadInt32(&d[v])
+					if du < dv && dv == atomic.LoadInt32(&d[dv]) {
+						atomic.StoreInt32(&d[dv], du)
+						local = true
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&graft, 1)
+			}
+			b.Wait()
+
+			// Shortcut phase over this worker's vertices.
+			for i := vlo; i < vhi; i++ {
+				di := atomic.LoadInt32(&d[i])
+				for {
+					ddi := atomic.LoadInt32(&d[di])
+					if ddi == di {
+						break
+					}
+					di = ddi
+				}
+				atomic.StoreInt32(&d[i], di)
+			}
+			b.Wait()
+
+			if id == 0 {
+				if atomic.LoadInt32(&graft) == 0 {
+					atomic.StoreInt32(&done, 1)
+				}
+			}
+			b.Wait()
+			if atomic.LoadInt32(&done) == 1 {
+				return
+			}
+		}
+	})
+	return d
+}

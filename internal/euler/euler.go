@@ -1,0 +1,183 @@
+// Package euler implements the Euler-tour technique: turning a tree into
+// a linked list of arcs so that tree computations — rooting, depths,
+// subtree sizes — reduce to list ranking and list prefix sums. This is
+// the family of applications the paper's introduction motivates list
+// ranking with (tree centroid, expression evaluation, rooted spanning
+// tree), built here on the parallel Helman–JáJá primitives.
+//
+// Each undirected tree edge {u,v} contributes two directed arcs u→v and
+// v→u, stored as twins at indices 2e and 2e+1. The tour successor of an
+// arc (u,v) is v's next outgoing arc after the twin (v,u) in v's
+// circular adjacency order; cutting the resulting Euler circuit at the
+// root's first outgoing arc yields a linked list of all 2(n−1) arcs,
+// which the list-ranking machinery processes in parallel.
+package euler
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+)
+
+// Tree is the result of rooting a free tree: parents, depths and subtree
+// sizes with respect to Root.
+type Tree struct {
+	N      int
+	Root   int
+	Parent []int32 // Parent[Root] = -1
+	Depth  []int64 // Depth[Root] = 0
+	Size   []int64 // Size[v] = vertices in v's subtree, Size[Root] = N
+}
+
+// Tour builds the Euler-tour linked list of the tree's arcs rooted at
+// root. It returns the arc list (2(n−1) nodes; arc 2e and 2e+1 are the
+// two directions of edge e) plus the arc endpoints. For n = 1 the list
+// is nil.
+func Tour(n int, edges []graph.Edge, root int) (*list.List, []graph.Edge, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("euler: tree needs at least one vertex, got %d", n)
+	}
+	if root < 0 || root >= n {
+		return nil, nil, fmt.Errorf("euler: root %d out of range [0,%d)", root, n)
+	}
+	if len(edges) != n-1 {
+		return nil, nil, fmt.Errorf("euler: a tree on %d vertices has %d edges, got %d", n, n-1, len(edges))
+	}
+	if n == 1 {
+		return nil, nil, nil
+	}
+
+	// Arcs: 2e = U→V, 2e+1 = V→U. Build CSR of outgoing arcs per vertex.
+	nArcs := 2 * len(edges)
+	arcs := make([]graph.Edge, nArcs)
+	deg := make([]int32, n+1)
+	for e, ed := range edges {
+		if ed.U < 0 || int(ed.U) >= n || ed.V < 0 || int(ed.V) >= n {
+			return nil, nil, fmt.Errorf("euler: edge %d = (%d,%d) out of range", e, ed.U, ed.V)
+		}
+		if ed.U == ed.V {
+			return nil, nil, fmt.Errorf("euler: self-loop at vertex %d", ed.U)
+		}
+		arcs[2*e] = graph.Edge{U: ed.U, V: ed.V}
+		arcs[2*e+1] = graph.Edge{U: ed.V, V: ed.U}
+		deg[ed.U+1]++
+		deg[ed.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	out := make([]int32, nArcs)      // arc ids grouped by tail vertex
+	posInOut := make([]int32, nArcs) // position of each arc within its group
+	fill := append([]int32(nil), deg[:n]...)
+	for a, arc := range arcs {
+		out[fill[arc.U]] = int32(a)
+		posInOut[a] = fill[arc.U] - deg[arc.U]
+		fill[arc.U]++
+	}
+
+	// succ(a = u→v) = v's outgoing arc after twin(a) in circular order.
+	succ := make([]int64, nArcs)
+	for a := range arcs {
+		twin := a ^ 1
+		v := arcs[a].V
+		d := deg[v+1] - deg[v]
+		if d == 0 {
+			return nil, nil, fmt.Errorf("euler: vertex %d has no outgoing arcs", v)
+		}
+		k := posInOut[twin]
+		succ[a] = int64(out[deg[v]+(k+1)%d])
+	}
+
+	// Cut the circuit before the root's first outgoing arc.
+	if deg[root+1] == deg[root] {
+		return nil, nil, fmt.Errorf("euler: root %d is isolated; the input is not a tree", root)
+	}
+	head := int(out[deg[root]])
+	var tail int64 = -1
+	for a := range arcs {
+		if succ[a] == int64(head) {
+			tail = int64(a)
+			break
+		}
+	}
+	if tail < 0 {
+		return nil, nil, fmt.Errorf("euler: malformed circuit, head unreachable")
+	}
+	succ[tail] = list.NilNext
+	l := &list.List{Succ: succ, Head: head}
+	if err := l.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("euler: input is not a tree: %w", err)
+	}
+	return l, arcs, nil
+}
+
+// Root roots the free tree at root using the Euler tour plus parallel
+// list ranking (with p goroutine workers) and returns parents, depths
+// and subtree sizes.
+func Root(n int, edges []graph.Edge, root, p int) (*Tree, error) {
+	t := &Tree{
+		N:      n,
+		Root:   root,
+		Parent: make([]int32, n),
+		Depth:  make([]int64, n),
+		Size:   make([]int64, n),
+	}
+	l, arcs, err := Tour(n, edges, root)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Size[i] = 1
+	}
+	if n == 1 {
+		return t, nil
+	}
+
+	rank := listrank.HelmanJaja(l, p)
+
+	// An edge's earlier-ranked arc descends the tree (parent → child).
+	down := make([]bool, len(arcs))
+	for e := 0; e < len(edges); e++ {
+		a, b := 2*e, 2*e+1
+		if rank[a] < rank[b] {
+			down[a] = true
+			t.Parent[arcs[a].V] = arcs[a].U
+		} else {
+			down[b] = true
+			t.Parent[arcs[b].V] = arcs[b].U
+		}
+	}
+
+	// Depth: +1 on down arcs, −1 on up arcs; the prefix at a vertex's
+	// entering down-arc is its depth.
+	vals := make([]int64, len(arcs))
+	for a := range arcs {
+		if down[a] {
+			vals[a] = 1
+		} else {
+			vals[a] = -1
+		}
+	}
+	pre := listrank.HelmanJajaPrefix(l, vals, p)
+	for a := range arcs {
+		if down[a] {
+			t.Depth[arcs[a].V] = pre[a]
+		}
+	}
+
+	// Subtree size: between a vertex's down arc and its matching up arc
+	// the tour visits exactly its subtree: (rank_up − rank_down + 1)/2
+	// vertices.
+	for e := 0; e < len(edges); e++ {
+		a, b := 2*e, 2*e+1
+		if !down[a] {
+			a, b = b, a
+		}
+		t.Size[arcs[a].V] = (rank[b] - rank[a] + 1) / 2
+	}
+	t.Size[root] = int64(n)
+	return t, nil
+}

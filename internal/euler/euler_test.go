@@ -1,0 +1,185 @@
+package euler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/rng"
+)
+
+// randomTree builds a uniform-ish random tree: vertex i attaches to a
+// random earlier vertex.
+func randomTree(n int, seed uint64) []graph.Edge {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i)
+		edges = append(edges, graph.Edge{U: int32(j), V: int32(i)})
+	}
+	return edges
+}
+
+// dfsReference computes parents, depths, sizes by explicit-stack DFS.
+func dfsReference(n int, edges []graph.Edge, root int) ([]int32, []int64, []int64) {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	parent := make([]int32, n)
+	depth := make([]int64, n)
+	size := make([]int64, n)
+	for i := range parent {
+		parent[i] = -1
+		size[i] = 1
+	}
+	order := make([]int32, 0, n)
+	stack := []int32{int32(root)}
+	seen := make([]bool, n)
+	seen[root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				parent[w] = v
+				depth[w] = depth[v] + 1
+				stack = append(stack, w)
+			}
+		}
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		v := order[i]
+		size[parent[v]] += size[v]
+	}
+	return parent, depth, size
+}
+
+func assertTree(t *testing.T, n int, edges []graph.Edge, root int) {
+	t.Helper()
+	got, err := Root(n, edges, root, 4)
+	if err != nil {
+		t.Fatalf("Root failed: %v", err)
+	}
+	wantP, wantD, wantS := dfsReference(n, edges, root)
+	for v := 0; v < n; v++ {
+		if got.Parent[v] != wantP[v] {
+			t.Fatalf("parent[%d] = %d, want %d", v, got.Parent[v], wantP[v])
+		}
+		if got.Depth[v] != wantD[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, got.Depth[v], wantD[v])
+		}
+		if got.Size[v] != wantS[v] {
+			t.Fatalf("size[%d] = %d, want %d", v, got.Size[v], wantS[v])
+		}
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	tr, err := Root(1, nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent[0] != -1 || tr.Depth[0] != 0 || tr.Size[0] != 1 {
+		t.Fatalf("singleton tree wrong: %+v", tr)
+	}
+}
+
+func TestChainTree(t *testing.T) {
+	n := 50
+	edges := make([]graph.Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = graph.Edge{U: int32(i), V: int32(i + 1)}
+	}
+	assertTree(t, n, edges, 0)
+	assertTree(t, n, edges, n-1) // rooted at the far end
+	assertTree(t, n, edges, n/2) // rooted in the middle
+}
+
+func TestStarTree(t *testing.T) {
+	n := 40
+	edges := make([]graph.Edge, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = graph.Edge{U: 0, V: int32(i)}
+	}
+	assertTree(t, n, edges, 0)
+	assertTree(t, n, edges, 7) // rooted at a leaf
+}
+
+func TestRandomTrees(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 100, 1000} {
+		edges := randomTree(n, uint64(n))
+		assertTree(t, n, edges, 0)
+		assertTree(t, n, edges, n-1)
+	}
+}
+
+func TestRandomTreeProperty(t *testing.T) {
+	check := func(seed uint64, sz uint16, rr uint16) bool {
+		n := int(sz)%500 + 2
+		root := int(rr) % n
+		edges := randomTree(n, seed)
+		got, err := Root(n, edges, root, 4)
+		if err != nil {
+			return false
+		}
+		wantP, wantD, wantS := dfsReference(n, edges, root)
+		for v := 0; v < n; v++ {
+			if got.Parent[v] != wantP[v] || got.Depth[v] != wantD[v] || got.Size[v] != wantS[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTourCoversAllArcs(t *testing.T) {
+	edges := randomTree(200, 9)
+	l, arcs, err := Tour(200, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 398 || l.Len() != 398 {
+		t.Fatalf("tour has %d arcs, want 398", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonTrees(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []graph.Edge
+		root  int
+	}{
+		{"wrong-edge-count", 4, []graph.Edge{{U: 0, V: 1}}, 0},
+		{"self-loop", 3, []graph.Edge{{U: 0, V: 0}, {U: 1, V: 2}}, 0},
+		{"cycle-plus-isolated", 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 0},
+		{"bad-root", 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 9},
+		{"bad-endpoint", 3, []graph.Edge{{U: 0, V: 7}, {U: 1, V: 2}}, 0},
+		{"empty", 0, nil, 0},
+	}
+	for _, c := range cases {
+		if _, err := Root(c.n, c.edges, c.root, 2); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func BenchmarkRootTree100k(b *testing.B) {
+	edges := randomTree(100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Root(100000, edges, 0, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(12, 20000, 1)
+	if g.N != 4096 || g.M() != 20000 {
+		t.Fatalf("got n=%d m=%d", g.N, g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Edge]bool{}
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestRMATSkewedVersusGnm(t *testing.T) {
+	// R-MAT's whole point: a far heavier-tailed degree distribution than
+	// a uniform random graph of the same size.
+	rmat := RMAT(13, 40000, 2)
+	gnm := RandomGnm(1<<13, 40000, 2)
+	if rmat.MaxDegree() < 2*gnm.MaxDegree() {
+		t.Fatalf("R-MAT max degree %d not clearly above G(n,m)'s %d", rmat.MaxDegree(), gnm.MaxDegree())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(10, 5000, 7)
+	b := RMAT(10, 5000, 7)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestRMATProperty(t *testing.T) {
+	check := func(seed uint64, sc, mm uint8) bool {
+		scale := int(sc)%6 + 4 // 16..512 vertices
+		n := 1 << scale
+		maxM := n * (n - 1) / 4 // stay under the density guard
+		m := int(mm)%100 + 1
+		if m > maxM {
+			m = maxM
+		}
+		g := RMATParams(scale, m, 0.25, 0.25, 0.25, 0.25, seed)
+		if g.M() != m || g.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	cases := []func(){
+		func() { RMAT(0, 10, 1) },
+		func() { RMAT(31, 10, 1) },
+		func() { RMATParams(10, 10, 0.5, 0.5, 0.5, 0.5, 1) }, // sums to 2
+		func() { RMAT(4, 1000, 1) },                          // too dense
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if d := Star(10).MaxDegree(); d != 9 {
+		t.Fatalf("star max degree = %d, want 9", d)
+	}
+	if d := Chain(10).MaxDegree(); d != 2 {
+		t.Fatalf("chain max degree = %d, want 2", d)
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(16, 1<<18, uint64(i))
+	}
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the figure's series as long-format CSV
+// (machine,workload,procs,x,seconds), the shape plotting tools ingest
+// directly.
+func (r *Fig1Result) WriteCSV(w io.Writer) error { return seriesCSV(w, r.Series) }
+
+// WriteCSV emits the figure's series as long-format CSV.
+func (r *Fig2Result) WriteCSV(w io.Writer) error { return seriesCSV(w, r.Series) }
+
+func seriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"machine", "workload", "procs", "x", "seconds"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			rec := []string{
+				s.Machine,
+				s.Workload,
+				fmt.Sprintf("%d", s.Procs),
+				fmt.Sprintf("%.0f", pt.X),
+				fmt.Sprintf("%.9f", pt.Seconds),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the utilization table as CSV (workload,procs,utilization).
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "procs", "utilization"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for i, u := range row.Utilization {
+			rec := []string{row.Workload, fmt.Sprintf("%d", r.Procs[i]), fmt.Sprintf("%.4f", u)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

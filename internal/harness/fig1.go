@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// Fig1Params configures the list-ranking experiment of Fig. 1: running
+// times on the Cray MTA (left panel) and the Sun SMP (right panel) for
+// p = 1, 2, 4, 8 processors on Ordered and Random lists.
+type Fig1Params struct {
+	Sizes        []int
+	Procs        []int
+	Layouts      []list.Layout
+	NodesPerWalk int // MTA sublist granularity (paper: ~10)
+	Sublists     int // SMP sublists per processor (paper: 8)
+	Seed         uint64
+	Verify       bool // cross-check every run against Sequential
+}
+
+// DefaultFig1 returns parameters at the given scale. The paper sweeps
+// lists up to 80 M nodes; Small stops at 2^18 so the suite stays quick.
+func DefaultFig1(scale Scale) Fig1Params {
+	p := Fig1Params{
+		Procs:        []int{1, 2, 4, 8},
+		Layouts:      []list.Layout{list.Ordered, list.Random},
+		NodesPerWalk: listrank.DefaultNodesPerWalk,
+		Sublists:     8,
+		Seed:         0x11,
+		Verify:       true,
+	}
+	switch scale {
+	case Small:
+		p.Sizes = []int{1 << 15, 1 << 16, 1 << 17, 1 << 18}
+	case Medium:
+		p.Sizes = []int{1 << 18, 1 << 19, 1 << 20, 1 << 21}
+	default:
+		p.Sizes = []int{1 << 21, 1 << 23, 1 << 24, 20 << 20}
+		p.Verify = false
+	}
+	return p
+}
+
+// Fig1Result holds both panels of the figure.
+type Fig1Result struct {
+	Series []Series
+}
+
+// RunFig1 executes the sweep.
+func RunFig1(params Fig1Params) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, layout := range params.Layouts {
+		for _, procs := range params.Procs {
+			mtaSeries := Series{Machine: "MTA", Workload: layout.String(), Procs: procs}
+			smpSeries := Series{Machine: "SMP", Workload: layout.String(), Procs: procs}
+			for _, n := range params.Sizes {
+				l := list.New(n, layout, params.Seed+uint64(n))
+
+				mm := mta.New(mta.DefaultConfig(procs))
+				rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
+				if params.Verify {
+					if err := l.VerifyRanks(rank); err != nil {
+						return nil, fmt.Errorf("fig1 MTA n=%d p=%d: %w", n, procs, err)
+					}
+				}
+				mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(n), Seconds: mm.Seconds()})
+
+				sm := smp.New(smp.DefaultConfig(procs))
+				rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
+				if params.Verify {
+					if err := l.VerifyRanks(rank); err != nil {
+						return nil, fmt.Errorf("fig1 SMP n=%d p=%d: %w", n, procs, err)
+					}
+				}
+				smpSeries.Points = append(smpSeries.Points, Point{X: float64(n), Seconds: sm.Seconds()})
+			}
+			res.Series = append(res.Series, mtaSeries, smpSeries)
+		}
+	}
+	return res, nil
+}
+
+// WriteText prints the two panels as tables.
+func (r *Fig1Result) WriteText(w io.Writer) {
+	var mtaS, smpS []Series
+	for _, s := range r.Series {
+		if s.Machine == "MTA" {
+			mtaS = append(mtaS, s)
+		} else {
+			smpS = append(smpS, s)
+		}
+	}
+	writeSeriesTable(w, "Fig. 1 (left): list ranking on the Cray MTA", "n", mtaS)
+	writeSeriesTable(w, "Fig. 1 (right): list ranking on the Sun SMP", "n", smpS)
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// Fig2Params configures the connected-components experiment of Fig. 2:
+// running times on both machines for a random graph with N vertices and
+// EdgeFactors×N edges, for p = 1, 2, 4, 8.
+type Fig2Params struct {
+	N           int
+	EdgeFactors []int // the paper sweeps m = 4M..20M for n = 1M
+	Procs       []int
+	Seed        uint64
+	Verify      bool
+}
+
+// DefaultFig2 returns parameters at the given scale. The paper uses
+// n = 1M = 2^20 vertices and m = 4n..20n edges.
+func DefaultFig2(scale Scale) Fig2Params {
+	p := Fig2Params{
+		EdgeFactors: []int{4, 8, 12, 16, 20},
+		Procs:       []int{1, 2, 4, 8},
+		Seed:        0x22,
+		Verify:      true,
+	}
+	switch scale {
+	case Small:
+		p.N = 1 << 13
+	case Medium:
+		p.N = 1 << 16
+	default:
+		p.N = 1 << 20
+		p.Verify = false
+	}
+	return p
+}
+
+// Fig2Result holds both panels of the figure.
+type Fig2Result struct {
+	N      int
+	Series []Series
+}
+
+// RunFig2 executes the sweep.
+func RunFig2(params Fig2Params) (*Fig2Result, error) {
+	res := &Fig2Result{N: params.N}
+	workload := fmt.Sprintf("G(%d,m)", params.N)
+	for _, procs := range params.Procs {
+		mtaSeries := Series{Machine: "MTA", Workload: workload, Procs: procs}
+		smpSeries := Series{Machine: "SMP", Workload: workload, Procs: procs}
+		for _, f := range params.EdgeFactors {
+			m := f * params.N
+			g := graph.RandomGnm(params.N, m, params.Seed+uint64(f))
+			var want []int32
+			if params.Verify {
+				want = concomp.UnionFind(g)
+			}
+
+			mm := mta.New(mta.DefaultConfig(procs))
+			got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
+			if params.Verify && !graph.SameComponents(want, got) {
+				return nil, fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
+			}
+			mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(m), Seconds: mm.Seconds()})
+
+			sm := smp.New(smp.DefaultConfig(procs))
+			got = concomp.LabelSMP(g, sm)
+			if params.Verify && !graph.SameComponents(want, got) {
+				return nil, fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)
+			}
+			smpSeries.Points = append(smpSeries.Points, Point{X: float64(m), Seconds: sm.Seconds()})
+		}
+		res.Series = append(res.Series, mtaSeries, smpSeries)
+	}
+	return res, nil
+}
+
+// WriteText prints the two panels as tables.
+func (r *Fig2Result) WriteText(w io.Writer) {
+	var mtaS, smpS []Series
+	for _, s := range r.Series {
+		if s.Machine == "MTA" {
+			mtaS = append(mtaS, s)
+		} else {
+			smpS = append(smpS, s)
+		}
+	}
+	writeSeriesTable(w, fmt.Sprintf("Fig. 2 (left): connected components on the Cray MTA (n=%d)", r.N), "m", mtaS)
+	writeSeriesTable(w, fmt.Sprintf("Fig. 2 (right): connected components on the Sun SMP (n=%d)", r.N), "m", smpS)
+}

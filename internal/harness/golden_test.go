@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// TestGoldenCycleCounts pins the simulators' exact outputs on fixed tiny
+// workloads. Both machine models are deterministic, so any drift here
+// means the cost model changed; if the change was intentional, update
+// the constants (and revisit EXPERIMENTS.md, whose numbers share the
+// model), and if not, a bug slipped in.
+func TestGoldenCycleCounts(t *testing.T) {
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("%s: %.3f cycles, golden value %.3f — the timing model changed", name, got, want)
+		}
+	}
+
+	l := list.New(10000, list.Random, 42)
+	m1 := mta.New(mta.DefaultConfig(2))
+	listrank.RankMTA(l, m1, 1000, sim.SchedDynamic)
+	check("MTA list ranking (n=10000, p=2)", m1.Cycles(), 108751.092)
+
+	s1 := smp.New(smp.DefaultConfig(2))
+	listrank.RankSMP(l, s1, 16, 42)
+	check("SMP list ranking (n=10000, p=2)", s1.Cycles(), 1536846)
+
+	g := graph.RandomGnm(2000, 8000, 42)
+	m2 := mta.New(mta.DefaultConfig(2))
+	concomp.LabelMTA(g, m2, sim.SchedDynamic)
+	check("MTA connected components (n=2000, m=8000, p=2)", m2.Cycles(), 218315.933)
+
+	s2 := smp.New(smp.DefaultConfig(2))
+	concomp.LabelSMP(g, s2)
+	check("SMP connected components (n=2000, m=8000, p=2)", s2.Cycles(), 799901)
+}
+
+// TestSimulatorsAreDeterministic asserts run-to-run equality, which the
+// golden test (and all of EXPERIMENTS.md) relies on.
+func TestSimulatorsAreDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		l := list.New(5000, list.Random, 7)
+		m := mta.New(mta.DefaultConfig(4))
+		listrank.RankMTA(l, m, 500, sim.SchedDynamic)
+		s := smp.New(smp.DefaultConfig(4))
+		listrank.RankSMP(l, s, 32, 7)
+		return m.Cycles(), s.Cycles()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("nondeterministic simulation: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report bundles any subset of the suite's results for machine-readable
+// output (`cmd/figures -json`). Nil fields are omitted.
+type Report struct {
+	Fig1       *Fig1Result       `json:"fig1,omitempty"`
+	Fig2       *Fig2Result       `json:"fig2,omitempty"`
+	Table1     *Table1Result     `json:"table1,omitempty"`
+	Summary    *SummaryResult    `json:"summary,omitempty"`
+	Saturation *SaturationResult `json:"saturation,omitempty"`
+	Streams    *StreamsResult    `json:"streams,omitempty"`
+	TreeEval   *TreeEvalResult   `json:"treeEval,omitempty"`
+	Ablations  []*AblationResult `json:"ablations,omitempty"`
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+)
+
+// Table1Params configures the MTA processor-utilization table. The paper
+// measures list ranking on a 20M-node list (Random and Ordered) and
+// connected components on n = 1M, m = 20M ≈ n log n.
+type Table1Params struct {
+	ListN        int
+	GraphN       int
+	GraphM       int
+	Procs        []int
+	NodesPerWalk int
+	Seed         uint64
+}
+
+// DefaultTable1 returns parameters at the given scale.
+func DefaultTable1(scale Scale) Table1Params {
+	p := Table1Params{
+		Procs:        []int{1, 4, 8},
+		NodesPerWalk: listrank.DefaultNodesPerWalk,
+		Seed:         0x33,
+	}
+	switch scale {
+	case Small:
+		p.ListN = 1 << 17
+		p.GraphN = 1 << 13
+		p.GraphM = 20 << 13
+	case Medium:
+		p.ListN = 1 << 20
+		p.GraphN = 1 << 16
+		p.GraphM = 20 << 16
+	default:
+		p.ListN = 20 << 20
+		p.GraphN = 1 << 20
+		p.GraphM = 20 << 20
+	}
+	return p
+}
+
+// Table1Result is the utilization table: one row per workload, one
+// column per processor count.
+type Table1Result struct {
+	Procs []int
+	Rows  []Table1Row
+}
+
+// Table1Row is one workload's utilizations, indexed like Procs.
+type Table1Row struct {
+	Workload    string
+	Utilization []float64
+}
+
+// RunTable1 executes the utilization measurements.
+func RunTable1(params Table1Params) *Table1Result {
+	res := &Table1Result{Procs: params.Procs}
+
+	rowRandom := Table1Row{Workload: "List Ranking / Random List"}
+	rowOrdered := Table1Row{Workload: "List Ranking / Ordered List"}
+	for _, layout := range []list.Layout{list.Random, list.Ordered} {
+		l := list.New(params.ListN, layout, params.Seed)
+		for _, procs := range params.Procs {
+			m := mta.New(mta.DefaultConfig(procs))
+			listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
+			u := m.Utilization()
+			if layout == list.Random {
+				rowRandom.Utilization = append(rowRandom.Utilization, u)
+			} else {
+				rowOrdered.Utilization = append(rowOrdered.Utilization, u)
+			}
+		}
+	}
+
+	rowCC := Table1Row{Workload: "Connected Components"}
+	g := graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1)
+	for _, procs := range params.Procs {
+		m := mta.New(mta.DefaultConfig(procs))
+		concomp.LabelMTA(g, m, sim.SchedDynamic)
+		rowCC.Utilization = append(rowCC.Utilization, m.Utilization())
+	}
+
+	res.Rows = []Table1Row{rowRandom, rowOrdered, rowCC}
+	return res
+}
+
+// WriteText prints the table in the paper's layout.
+func (r *Table1Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: processor utilization on the Cray MTA")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "workload")
+	for _, p := range r.Procs {
+		fmt.Fprintf(tw, "\tp=%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprint(tw, row.Workload)
+		for _, u := range row.Utilization {
+			fmt.Fprintf(tw, "\t%.0f%%", u*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,51 @@
+package listrank
+
+import (
+	"pargraph/internal/list"
+	"pargraph/internal/par"
+)
+
+// HelmanJajaSPMD is the Helman–JáJá algorithm in the SPMD style of the
+// paper's actual SMP codes: p persistent worker goroutines started once
+// (the pthreads), synchronizing at software barriers between phases,
+// rather than forking and joining goroutines per phase. The paper's §6
+// contrasts exactly this style — "longer, more complex programs that
+// embody both parallelism and locality" — with the MTA's loop-level
+// directives; having both forms in the repository makes the comparison
+// concrete, and the SPMD form is what the B(n,p) term of the cost model
+// counts.
+func HelmanJajaSPMD(l *list.List, p int) []int64 {
+	if p < 1 {
+		p = 1
+	}
+	n := l.Len()
+	s := 8 * p
+	heads := chooseSublistHeads(l, s, 0x5eed)
+	w := newWalkState(l, heads)
+	k := len(heads)
+	rank := make([]int64, n)
+	off := make([]int64, k)
+
+	b := par.NewBarrier(p)
+	par.Workers(p, func(id int) {
+		// Phase: walk this worker's share of the sublists.
+		lo, hi := id*k/p, (id+1)*k/p
+		for i := lo; i < hi; i++ {
+			w.walk(l, i)
+		}
+		b.Wait()
+
+		// Phase: worker 0 chains the sublists (serial, s is tiny).
+		if id == 0 {
+			copy(off, w.offsets())
+		}
+		b.Wait()
+
+		// Phase: array-order combining over this worker's block.
+		vlo, vhi := id*n/p, (id+1)*n/p
+		for i := vlo; i < vhi; i++ {
+			rank[i] = w.local[i] + off[w.sublist[i]]
+		}
+	})
+	return rank
+}

@@ -1,0 +1,164 @@
+package listrank
+
+import (
+	"pargraph/internal/list"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+)
+
+// Simulated base addresses (in words) of the MTA kernel's arrays. The
+// machine hashes addresses, so only distinctness matters.
+const (
+	mtaSuccBase = uint64(1) << 40
+	mtaRankBase = uint64(2) << 40
+	mtaWalkBase = uint64(3) << 40
+)
+
+// DefaultWalksPerNode is the paper's operating point: "approximately 10
+// list nodes per walk" with 100 streams per processor (§3).
+const DefaultNodesPerWalk = 10
+
+// RankMTA executes the paper's Alg. 1 — the walk-based MTA list-ranking
+// code — against the MTA machine model and returns the ranks. nwalk is
+// the number of walks (sublists); the paper's recipe is n/10. sched
+// selects the loop schedule; the paper uses dynamic scheduling via
+// int_fetch_add, and SchedBlock exists for the A1 ablation.
+//
+// The five simulated regions correspond one-to-one to the paper's code:
+// the head-finding reduction, walk marking, the marked-walk traversal,
+// the pointer-jumping combination of walk lengths, and the ranking
+// re-traversal.
+func RankMTA(l *list.List, m *mta.Machine, nwalk int, sched sim.Sched) []int64 {
+	n := l.Len()
+	if nwalk < 1 {
+		nwalk = 1
+	}
+	if nwalk > n {
+		nwalk = n
+	}
+
+	// Region 1: find the head: first = (n²+n)/2 - Σ list[i]. One load and
+	// one add per node, fully parallel.
+	m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		t.Load(mtaSuccBase + uint64(i))
+		t.Instr(1)
+	})
+	head := list.FindHeadBySum(l.Succ)
+	if head != l.Head {
+		panic("listrank: corrupt list, computed head disagrees")
+	}
+
+	// Region 2: initialize rank[] to the sentinel and mark the walk
+	// heads, reusing rank[] as the mark array exactly as Alg. 1 does.
+	rank := make([]int64, n)
+	m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		t.Store(mtaRankBase + uint64(i))
+		rank[i] = rankSentinel
+	})
+	headNode := make([]int, 0, nwalk)
+	headNode = append(headNode, head)
+	rank[head] = 0
+	for i := 1; i < nwalk; i++ {
+		node := i * (n / nwalk)
+		if rank[node] != rankSentinel {
+			continue // collided with the head (or an earlier walk)
+		}
+		rank[node] = int64(len(headNode))
+		headNode = append(headNode, node)
+	}
+	nw := len(headNode)
+	m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
+		t.Instr(3)
+		t.Store(mtaWalkBase + uint64(i))           // head[i]
+		t.Store(mtaRankBase + uint64(headNode[i])) // mark
+	})
+
+	// Region 3: traverse each walk until the next marked node, counting
+	// its length. Each step is two dependent loads (list[j], rank[j])
+	// plus loop arithmetic — the pointer chase that would devastate a
+	// cache machine and that the MTA hides with streams.
+	lnth := make([]int64, nw)
+	nextWalk := make([]int32, nw)
+	m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
+		j := int64(headNode[i])
+		var cnt int64 = 1
+		t.Instr(2)
+		for {
+			if cnt > int64(n) {
+				panic("listrank: list contains a cycle")
+			}
+			t.LoadDep(mtaSuccBase + uint64(j))
+			nx := l.Succ[j]
+			if nx == list.NilNext {
+				nextWalk[i] = -1
+				break
+			}
+			t.LoadDep(mtaRankBase + uint64(nx))
+			t.Instr(2)
+			if rank[nx] != rankSentinel {
+				nextWalk[i] = int32(rank[nx])
+				break
+			}
+			cnt++
+			j = nx
+		}
+		lnth[i] = cnt
+		t.Store(mtaWalkBase + uint64(nw+i))   // lnth[i]
+		t.Store(mtaWalkBase + uint64(2*nw+i)) // next[i]
+	})
+
+	// Region 4: combine walk lengths by pointer jumping over the walk
+	// chain (the paper's while(next[1] != 0) doubling loop). suffix[i]
+	// converges to the total length of walk i and every walk after it,
+	// so offset[i] = n - suffix[i].
+	suffix := make([]int64, nw)
+	hop := make([]int32, nw)
+	copy(suffix, lnth)
+	copy(hop, nextWalk)
+	suffixNew := make([]int64, nw)
+	hopNew := make([]int32, nw)
+	rounds := 0
+	for {
+		if rounds > 2*64 {
+			panic("listrank: walk chain does not terminate (cyclic list)")
+		}
+		rounds++
+		jumping := false
+		m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
+			t.Instr(2)
+			if h := hop[i]; h >= 0 {
+				t.Load(mtaWalkBase + uint64(3*nw+i))
+				t.LoadDep(mtaWalkBase + uint64(3*nw+int(h)))
+				t.Store(mtaWalkBase + uint64(4*nw+i))
+				suffixNew[i] = suffix[i] + suffix[h]
+				hopNew[i] = hop[h]
+				jumping = true
+			} else {
+				suffixNew[i] = suffix[i]
+				hopNew[i] = -1
+			}
+		})
+		m.Barrier()
+		suffix, suffixNew = suffixNew, suffix
+		hop, hopNew = hopNew, hop
+		if !jumping {
+			break
+		}
+	}
+
+	// Region 5: re-traverse each walk, writing final ranks from the walk
+	// offset.
+	m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
+		off := int64(n) - suffix[i]
+		j := int64(headNode[i])
+		t.Instr(3)
+		for step := int64(0); step < lnth[i]; step++ {
+			t.Store(mtaRankBase + uint64(j))
+			t.LoadDep(mtaSuccBase + uint64(j))
+			t.Instr(2)
+			rank[j] = off + step
+			j = l.Succ[j]
+		}
+	})
+	return rank
+}

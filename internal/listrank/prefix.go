@@ -1,0 +1,83 @@
+package listrank
+
+import (
+	"pargraph/internal/list"
+	"pargraph/internal/par"
+)
+
+// SequentialPrefix computes the inclusive prefix sums of vals in list
+// order: out[head] = vals[head], out[j] = out[pred(j)] + vals[j]. List
+// ranking is the special case vals ≡ 1 shifted by one (§3: "list
+// ranking is an instance of the more general prefix problem").
+func SequentialPrefix(l *list.List, vals []int64) []int64 {
+	out := make([]int64, l.Len())
+	var acc int64
+	j := int64(l.Head)
+	for j != list.NilNext {
+		acc += vals[j]
+		out[j] = acc
+		j = l.Succ[j]
+	}
+	return out
+}
+
+// HelmanJajaPrefix computes inclusive prefix sums in list order with the
+// Helman–JáJá sublist algorithm on p goroutine workers — the general ⊕
+// form of HelmanJaja, used by the Euler-tour tree computations.
+func HelmanJajaPrefix(l *list.List, vals []int64, p int) []int64 {
+	return helmanJajaPrefixS(l, vals, p, 8*p, 0x9eed)
+}
+
+func helmanJajaPrefixS(l *list.List, vals []int64, p, s int, seed uint64) []int64 {
+	n := l.Len()
+	if len(vals) != n {
+		panic("listrank: prefix values length mismatch")
+	}
+	heads := chooseSublistHeads(l, s, seed)
+	w := newWalkState(l, heads)
+
+	// Step 3: walk sublists accumulating value prefixes instead of counts.
+	sums := make([]int64, len(heads))
+	par.For(len(heads), p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := int64(w.heads[i])
+			var acc int64
+			var cnt int64
+			for {
+				acc += vals[j]
+				w.local[j] = acc
+				w.sublist[j] = int32(i)
+				cnt++
+				nx := l.Succ[j]
+				if nx == list.NilNext {
+					w.nextList[i] = -1
+					break
+				}
+				if w.headOf[nx] >= 0 {
+					w.nextList[i] = w.headOf[nx]
+					break
+				}
+				j = nx
+			}
+			w.length[i] = cnt
+			sums[i] = acc
+		}
+	})
+
+	// Step 4: chain the sublists, prefixing their value totals.
+	off := make([]int64, len(heads))
+	var acc int64
+	for i := int32(0); i >= 0; i = w.nextList[i] {
+		off[i] = acc
+		acc += sums[i]
+	}
+
+	// Step 5: array-order combining pass.
+	out := make([]int64, n)
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = w.local[i] + off[w.sublist[i]]
+		}
+	})
+	return out
+}

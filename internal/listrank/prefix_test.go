@@ -1,0 +1,137 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/list"
+	"pargraph/internal/mta"
+	"pargraph/internal/rng"
+	"pargraph/internal/sim"
+)
+
+func TestSequentialPrefixOnes(t *testing.T) {
+	l := list.New(100, list.Random, 1)
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = 1
+	}
+	pre := SequentialPrefix(l, vals)
+	rank := Sequential(l)
+	for i := range pre {
+		if pre[i] != rank[i]+1 {
+			t.Fatalf("prefix of ones != rank+1 at %d: %d vs %d", i, pre[i], rank[i]+1)
+		}
+	}
+}
+
+func TestHelmanJajaPrefixMatchesSequential(t *testing.T) {
+	check := func(seed uint64, sz uint16, pp uint8) bool {
+		n := int(sz)%3000 + 1
+		p := int(pp)%8 + 1
+		l := list.New(n, list.Random, seed)
+		r := rng.New(seed ^ 7)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(100)) - 50
+		}
+		want := SequentialPrefix(l, vals)
+		got := HelmanJajaPrefix(l, vals, p)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelmanJajaPrefixOrderedList(t *testing.T) {
+	l := list.New(1000, list.Ordered, 0)
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	got := HelmanJajaPrefix(l, vals, 4)
+	var acc int64
+	for i := 0; i < 1000; i++ {
+		acc += int64(i)
+		if got[i] != acc {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got[i], acc)
+		}
+	}
+}
+
+func TestPrefixLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	l := list.New(10, list.Ordered, 0)
+	HelmanJajaPrefix(l, make([]int64, 5), 2)
+}
+
+func TestPrefixMTAMatchesSequential(t *testing.T) {
+	check := func(seed uint64, sz uint16, ww uint8) bool {
+		n := int(sz)%2000 + 1
+		nwalk := int(ww)%80 + 1
+		l := list.New(n, list.Random, seed)
+		r := rng.New(seed ^ 3)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000)) - 500
+		}
+		m := mta.New(mta.DefaultConfig(1))
+		got := PrefixMTA(l, vals, m, nwalk, sim.SchedDynamic)
+		want := SequentialPrefix(l, vals)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return m.Cycles() > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixMTAOrderIndependent(t *testing.T) {
+	const n = 20000
+	run := func(layout list.Layout) float64 {
+		l := list.New(n, layout, 5)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i % 7)
+		}
+		m := mta.New(mta.DefaultConfig(2))
+		PrefixMTA(l, vals, m, n/DefaultNodesPerWalk, sim.SchedDynamic)
+		return m.Cycles()
+	}
+	ord, rnd := run(list.Ordered), run(list.Random)
+	if ratio := rnd / ord; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("prefix MTA random/ordered = %.2f, want ~1", ratio)
+	}
+}
+
+func TestPrefixMTAAllOnesIsRankPlusOne(t *testing.T) {
+	const n = 5000
+	l := list.New(n, list.Random, 9)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	m := mta.New(mta.DefaultConfig(1))
+	pre := PrefixMTA(l, vals, m, n/10, sim.SchedDynamic)
+	m2 := mta.New(mta.DefaultConfig(1))
+	rank := RankMTA(l, m2, n/10, sim.SchedDynamic)
+	for i := range pre {
+		if pre[i] != rank[i]+1 {
+			t.Fatalf("prefix != rank+1 at %d", i)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package listrank
+
+import "pargraph/internal/list"
+
+// Sequential ranks the list by walking it once from the head — the best
+// sequential algorithm, O(n) with one dependent load per node. It panics
+// if the traversal exceeds the node count, which means the input
+// contains a cycle.
+func Sequential(l *list.List) []int64 {
+	rank := make([]int64, l.Len())
+	j, r := int64(l.Head), int64(0)
+	for j != list.NilNext {
+		if r >= int64(l.Len()) {
+			panic("listrank: list contains a cycle")
+		}
+		rank[j] = r
+		r++
+		j = l.Succ[j]
+	}
+	return rank
+}

@@ -1,0 +1,64 @@
+package listrank
+
+import (
+	"pargraph/internal/list"
+	"pargraph/internal/par"
+)
+
+// Wyllie ranks the list by synchronous pointer jumping with p goroutine
+// workers: in each of ⌈log₂ n⌉ rounds every node adds its successor's
+// distance-to-tail and doubles its pointer. O(n log n) work — the
+// classic PRAM algorithm the Helman–JáJá approach improves on, kept as
+// a baseline.
+func Wyllie(l *list.List, p int) []int64 {
+	n := l.Len()
+	// dist[i] counts nodes strictly after i; next doubles each round.
+	dist := make([]int64, n)
+	next := make([]int64, n)
+	distNew := make([]int64, n)
+	nextNew := make([]int64, n)
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if l.Succ[i] == list.NilNext {
+				dist[i] = 0
+			} else {
+				dist[i] = 1
+			}
+			next[i] = l.Succ[i]
+		}
+	})
+	for {
+		active := make([]bool, p)
+		par.For(n, p, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if nx := next[i]; nx != list.NilNext {
+					distNew[i] = dist[i] + dist[nx]
+					nextNew[i] = next[nx]
+					active[w] = true
+				} else {
+					distNew[i] = dist[i]
+					nextNew[i] = list.NilNext
+				}
+			}
+		})
+		dist, distNew = distNew, dist
+		next, nextNew = nextNew, next
+		done := true
+		for _, a := range active {
+			if a {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	rank := dist // reuse: rank = (n-1) - distance to tail
+	par.For(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rank[i] = int64(n-1) - dist[i]
+		}
+	})
+	return rank
+}

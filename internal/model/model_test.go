@@ -1,0 +1,115 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+func TestTripletArithmetic(t *testing.T) {
+	a := Triplet{TM: 1, TC: 2, B: 3}
+	b := a.Add(a).Scale(2)
+	if b.TM != 4 || b.TC != 8 || b.B != 12 {
+		t.Fatalf("arithmetic wrong: %+v", b)
+	}
+}
+
+func TestPredictionsScaleWithP(t *testing.T) {
+	for _, f := range []func(p int) Triplet{
+		func(p int) Triplet { return ListRankSMP(1<<20, p) },
+		func(p int) Triplet { return ListRankMTA(1<<20, p) },
+		func(p int) Triplet { return SVSMP(1<<20, 8<<20, p) },
+	} {
+		t1, t8 := f(1), f(8)
+		if t8.TC >= t1.TC {
+			t.Fatalf("TC did not shrink with p: %v vs %v", t1, t8)
+		}
+	}
+}
+
+func TestMTAPredictionsHaveNoMemoryTerm(t *testing.T) {
+	if ListRankMTA(1000, 4).TM != 0 || SVMTA(1000, 4000, 4, 5).TM != 0 {
+		t.Fatal("MTA triplets should carry zero effective T_M")
+	}
+}
+
+// TestListRankSMPTrackedBySimulator: the model says the walk phase does
+// ~n/p non-contiguous accesses; the simulated machine on a Random list
+// should take memory misses of that order (same power of ten).
+func TestListRankSMPTrackedBySimulator(t *testing.T) {
+	const n = 1 << 18
+	const p = 4
+	l := list.New(n, list.Random, 1)
+	m := smp.New(smp.DefaultConfig(p))
+	listrank.RankSMP(l, m, 8*p, 2)
+	predicted := ListRankSMP(n, p).TM * p // machine-wide
+	measured := float64(m.Stats().Misses)
+	ratio := measured / predicted
+	if ratio < 0.5 || ratio > 8 {
+		t.Fatalf("misses %.0f vs predicted non-contiguous %.0f (ratio %.2f)", measured, predicted, ratio)
+	}
+}
+
+// TestListRankMTATrackedBySimulator: with abundant parallelism the MTA
+// run time should approach the instruction bound TC within a small
+// factor, because utilization is near one.
+func TestListRankMTATrackedBySimulator(t *testing.T) {
+	const n = 1 << 17
+	const p = 2
+	l := list.New(n, list.Random, 1)
+	m := mta.New(mta.DefaultConfig(p))
+	listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+	predicted := ListRankMTA(n, p).TC
+	measured := m.Cycles()
+	ratio := measured / predicted
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("cycles %.0f vs predicted %.0f (ratio %.2f)", measured, predicted, ratio)
+	}
+}
+
+// TestSVSMPBoundHolds: the paper's SV bound is a worst case over log n
+// iterations; the simulator's measured reference count must not exceed
+// it (and should be well under, since real instances converge faster).
+func TestSVSMPBoundHolds(t *testing.T) {
+	const n = 1 << 14
+	g := graph.RandomGnm(n, 4*n, 3)
+	p := 4
+	m := smp.New(smp.DefaultConfig(p))
+	if labels := len(concomp.LabelSMP(g, m)); labels != n {
+		t.Fatal("bad labeling")
+	}
+	bound := SVSMP(n, g.M(), p)
+	refs := float64(m.Stats().Loads+m.Stats().Stores) / float64(p)
+	if refs > bound.TM+bound.TC {
+		t.Fatalf("measured refs/proc %.0f exceed worst-case bound %.0f", refs, bound.TM+bound.TC)
+	}
+}
+
+func TestSecondsConversionsMonotone(t *testing.T) {
+	a := Triplet{TM: 1000, TC: 5000, B: 2}
+	b := Triplet{TM: 2000, TC: 5000, B: 2}
+	if SMPSeconds(b, 400, 300, 2000) <= SMPSeconds(a, 400, 300, 2000) {
+		t.Fatal("more non-contiguous accesses should cost more SMP time")
+	}
+	if MTASeconds(a, 220) != MTASeconds(b, 220) {
+		t.Fatal("MTA time should ignore T_M")
+	}
+	if math.Abs(MTASeconds(Triplet{TC: 220e6}, 220)-1) > 1e-9 {
+		t.Fatal("MTA seconds conversion wrong")
+	}
+}
+
+func TestSVIterVersusTotal(t *testing.T) {
+	iter := SVIter(1<<16, 1<<18, 4)
+	total := SVSMP(1<<16, 1<<18, 4)
+	if total.TM <= iter.TM || total.B <= iter.B {
+		t.Fatal("total bound should exceed a single iteration")
+	}
+}

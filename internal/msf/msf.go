@@ -1,0 +1,265 @@
+// Package msf computes minimum spanning forests, the remaining
+// graph application the paper's introduction builds on list ranking and
+// connectivity (Bader & Cong's MSF for sparse graphs; Chung & Condon's
+// parallel Borůvka is reference [10]).
+//
+// Two algorithms are provided: Kruskal (sort + union-find), the
+// sequential baseline; and a goroutine-parallel Borůvka, in which every
+// round each component selects its minimum incident edge by a
+// compare-and-swap tournament, components hook along the selected edges
+// (ties broken by a total order on (weight, edge index), so the hook
+// graph's only cycles are mutual selections, which the larger root
+// breaks), and labels contract by pointer jumping.
+package msf
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"pargraph/internal/par"
+	"pargraph/internal/rng"
+)
+
+// WEdge is an undirected weighted edge.
+type WEdge struct {
+	U, V int32
+	W    int64
+}
+
+// WGraph is an undirected weighted graph as an edge list.
+type WGraph struct {
+	N     int
+	Edges []WEdge
+}
+
+// Validate checks endpoint ranges.
+func (g *WGraph) Validate() error {
+	for i, e := range g.Edges {
+		if e.U < 0 || int(e.U) >= g.N || e.V < 0 || int(e.V) >= g.N {
+			return fmt.Errorf("msf: edge %d = (%d,%d) out of range [0,%d)", i, e.U, e.V, g.N)
+		}
+	}
+	return nil
+}
+
+// RandomWGraph builds a random graph of n vertices and m edges whose
+// weights are a permutation of 0..m-1 — distinct weights make the
+// minimum spanning forest unique, so tests can compare edge sets
+// exactly.
+func RandomWGraph(n, m int, seed uint64) *WGraph {
+	r := rng.New(seed)
+	g := &WGraph{N: n, Edges: make([]WEdge, 0, m)}
+	seen := make(map[uint64]struct{}, m)
+	maxM := int64(n) * int64(n-1) / 2
+	if int64(m) > maxM {
+		panic(fmt.Sprintf("msf: RandomWGraph(%d,%d): at most %d edges", n, m, maxM))
+	}
+	for len(g.Edges) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.Edges = append(g.Edges, WEdge{U: u, V: v})
+	}
+	for i, w := range r.Perm(m) {
+		g.Edges[i].W = int64(w)
+	}
+	return g
+}
+
+// Forest is a minimum spanning forest: the selected edge indices, their
+// total weight, and a component label per vertex.
+type Forest struct {
+	N         int
+	TreeEdges []int32
+	Weight    int64
+	Label     []int32
+}
+
+// Components returns the number of trees.
+func (f *Forest) Components() int { return f.N - len(f.TreeEdges) }
+
+// Kruskal computes the minimum spanning forest by sorting edges and
+// growing a union-find forest — the baseline.
+func Kruskal(g *WGraph) *Forest {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	idx := make([]int32, len(g.Edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := g.Edges[idx[a]], g.Edges[idx[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return idx[a] < idx[b]
+	})
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	f := &Forest{N: g.N}
+	for _, ei := range idx {
+		e := g.Edges[ei]
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		parent[rv] = ru
+		f.TreeEdges = append(f.TreeEdges, ei)
+		f.Weight += e.W
+	}
+	f.Label = make([]int32, g.N)
+	for i := range f.Label {
+		f.Label[i] = find(int32(i))
+	}
+	return f
+}
+
+// better reports whether edge a beats edge b under the strict total
+// order (weight, index); -1 means "no edge yet".
+func better(g *WGraph, a, b int32) bool {
+	if b < 0 {
+		return true
+	}
+	if a < 0 {
+		return false
+	}
+	ea, eb := g.Edges[a], g.Edges[b]
+	if ea.W != eb.W {
+		return ea.W < eb.W
+	}
+	return a < b
+}
+
+// Boruvka computes the minimum spanning forest with p goroutine workers.
+func Boruvka(g *WGraph, p int) *Forest {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	n := g.N
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = int32(i)
+	}
+	f := &Forest{N: n}
+	if n == 0 {
+		f.Label = d
+		return f
+	}
+	cand := make([]int32, n) // per-root best incident edge
+	chosen := make([]bool, len(g.Edges))
+
+	limit := 64
+	for s := 1; s < n; s <<= 1 {
+		limit++
+	}
+	for round := 0; ; round++ {
+		if round > limit {
+			panic(fmt.Sprintf("msf: Boruvka failed to converge after %d rounds", round))
+		}
+		// Select: CAS tournament for each component's minimum edge.
+		par.For(n, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cand[i] = -1
+			}
+		})
+		var any int32
+		par.For(len(g.Edges), p, func(_, lo, hi int) {
+			local := false
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k]
+				ru := atomic.LoadInt32(&d[e.U])
+				rv := atomic.LoadInt32(&d[e.V])
+				if ru == rv {
+					continue
+				}
+				local = true
+				for _, r := range [2]int32{ru, rv} {
+					for {
+						cur := atomic.LoadInt32(&cand[r])
+						if !better(g, int32(k), cur) {
+							break
+						}
+						if atomic.CompareAndSwapInt32(&cand[r], cur, int32(k)) {
+							break
+						}
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&any, 1)
+			}
+		})
+		if atomic.LoadInt32(&any) == 0 {
+			break
+		}
+
+		// Hook: each root follows its chosen edge; mutual selections are
+		// broken by letting only the larger root hook.
+		par.For(n, p, func(_, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ei := cand[r]
+				if ei < 0 || d[r] != int32(r) {
+					continue
+				}
+				e := g.Edges[ei]
+				other := atomic.LoadInt32(&d[e.U])
+				if other == int32(r) {
+					other = atomic.LoadInt32(&d[e.V])
+				}
+				if other == int32(r) {
+					continue // both endpoints already in this component
+				}
+				if cand[other] == ei && other > int32(r) {
+					continue // the larger root performs the mutual hook
+				}
+				atomic.StoreInt32(&d[r], other)
+				chosen[ei] = true
+			}
+		})
+
+		// Contract: pointer-jump every vertex to its root.
+		par.For(n, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				di := atomic.LoadInt32(&d[i])
+				for {
+					ddi := atomic.LoadInt32(&d[di])
+					if ddi == di {
+						break
+					}
+					di = ddi
+				}
+				atomic.StoreInt32(&d[i], di)
+			}
+		})
+	}
+
+	for ei, c := range chosen {
+		if c {
+			f.TreeEdges = append(f.TreeEdges, int32(ei))
+			f.Weight += g.Edges[ei].W
+		}
+	}
+	f.Label = d
+	return f
+}

@@ -1,0 +1,164 @@
+package msf
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/graph"
+)
+
+func sortedEdges(f *Forest) []int32 {
+	out := append([]int32(nil), f.TreeEdges...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// assertSameForest compares the two algorithms' outputs exactly; with
+// distinct weights the minimum spanning forest is unique, so the edge
+// sets must match, not just the totals.
+func assertSameForest(t *testing.T, g *WGraph, p int) {
+	t.Helper()
+	k := Kruskal(g)
+	b := Boruvka(g, p)
+	if k.Weight != b.Weight {
+		t.Fatalf("weights differ: kruskal %d vs boruvka %d", k.Weight, b.Weight)
+	}
+	ke, be := sortedEdges(k), sortedEdges(b)
+	if len(ke) != len(be) {
+		t.Fatalf("forest sizes differ: %d vs %d", len(ke), len(be))
+	}
+	for i := range ke {
+		if ke[i] != be[i] {
+			t.Fatalf("edge sets differ at %d: %d vs %d", i, ke[i], be[i])
+		}
+	}
+	if !graph.SameComponents(k.Label, b.Label) {
+		t.Fatal("labelings differ")
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	g := &WGraph{N: 3, Edges: []WEdge{
+		{U: 0, V: 1, W: 5},
+		{U: 1, V: 2, W: 3},
+		{U: 0, V: 2, W: 4},
+	}}
+	k := Kruskal(g)
+	if k.Weight != 7 || len(k.TreeEdges) != 2 {
+		t.Fatalf("kruskal on triangle: weight %d, %d edges", k.Weight, len(k.TreeEdges))
+	}
+	assertSameForest(t, g, 4)
+}
+
+func TestPathAndStar(t *testing.T) {
+	// On a tree, the MSF is the tree itself regardless of weights.
+	path := &WGraph{N: 5}
+	for i := 0; i < 4; i++ {
+		path.Edges = append(path.Edges, WEdge{U: int32(i), V: int32(i + 1), W: int64(10 - i)})
+	}
+	b := Boruvka(path, 2)
+	if len(b.TreeEdges) != 4 || b.Weight != 10+9+8+7 {
+		t.Fatalf("path MSF wrong: %d edges, weight %d", len(b.TreeEdges), b.Weight)
+	}
+	assertSameForest(t, path, 2)
+}
+
+func TestDisconnected(t *testing.T) {
+	g := RandomWGraph(400, 250, 7) // sparse: a forest of many components
+	k := Kruskal(g)
+	b := Boruvka(g, 4)
+	if k.Components() != b.Components() {
+		t.Fatalf("components differ: %d vs %d", k.Components(), b.Components())
+	}
+	if k.Components() < 2 {
+		t.Fatal("test graph should be disconnected")
+	}
+	assertSameForest(t, g, 4)
+}
+
+func TestEqualWeightsTieBreak(t *testing.T) {
+	// All weights equal: the (weight, index) order still makes the MSF
+	// unique, and mutual-selection cycles must be broken.
+	g := &WGraph{N: 6}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.Edges = append(g.Edges, WEdge{U: int32(u), V: int32(v), W: 1})
+		}
+	}
+	assertSameForest(t, g, 4)
+	if got := Boruvka(g, 4); len(got.TreeEdges) != 5 {
+		t.Fatalf("K6 spanning tree has %d edges, want 5", len(got.TreeEdges))
+	}
+}
+
+func TestProperty(t *testing.T) {
+	check := func(seed uint64, nn, mm uint16, pp uint8) bool {
+		n := int(nn)%250 + 2
+		maxM := n * (n - 1) / 2
+		m := int(mm) % (maxM + 1)
+		p := int(pp)%8 + 1
+		g := RandomWGraph(n, m, seed)
+		k := Kruskal(g)
+		b := Boruvka(g, p)
+		if k.Weight != b.Weight || len(k.TreeEdges) != len(b.TreeEdges) {
+			return false
+		}
+		ke, be := sortedEdges(k), sortedEdges(b)
+		for i := range ke {
+			if ke[i] != be[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if f := Boruvka(&WGraph{N: 0}, 2); len(f.TreeEdges) != 0 {
+		t.Fatal("empty graph produced edges")
+	}
+	if f := Boruvka(&WGraph{N: 1}, 2); len(f.TreeEdges) != 0 || f.Components() != 1 {
+		t.Fatal("singleton wrong")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := &WGraph{N: 2, Edges: []WEdge{{U: 0, V: 5}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid graph accepted")
+		}
+	}()
+	Boruvka(g, 2)
+}
+
+func TestRandomWGraphWeightsDistinct(t *testing.T) {
+	g := RandomWGraph(100, 500, 3)
+	seen := map[int64]bool{}
+	for _, e := range g.Edges {
+		if seen[e.W] {
+			t.Fatalf("duplicate weight %d", e.W)
+		}
+		seen[e.W] = true
+	}
+}
+
+func BenchmarkKruskal(b *testing.B) {
+	g := RandomWGraph(1<<14, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kruskal(g)
+	}
+}
+
+func BenchmarkBoruvka(b *testing.B) {
+	g := RandomWGraph(1<<14, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Boruvka(g, 8)
+	}
+}

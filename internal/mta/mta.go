@@ -1,0 +1,434 @@
+// Package mta models a Cray MTA-2-class multithreaded architecture: flat
+// shared memory with hashed addresses and no caches, barrel processors
+// that issue one instruction per cycle round-robin over 128 hardware
+// streams, near-zero-cost int_fetch_add, and full/empty-bit (FEB)
+// synchronization.
+//
+// The model is a fused trace-driven simulation. Algorithm kernels execute
+// natively against real Go data while charging each simulated thread's
+// instructions and memory references to a Thread tally; the machine then
+// computes each parallel region's wall time and issue-slot utilization
+// with the processor-sharing barrel model in internal/sim. Dynamic
+// (int_fetch_add) loop scheduling, end-of-loop tails, memory-bank
+// conflicts, and FEB hotspots are simulated; they are what make the
+// paper's Table 1 utilization figures and the "ordered ≈ random" result
+// come out of the model rather than being assumed.
+//
+// Machine constants default to the MTA-2 values published in the paper:
+// 220 MHz clock, 128 streams per processor, roughly 100-cycle memory
+// latency, and up to 8 outstanding memory references per stream.
+package mta
+
+import (
+	"fmt"
+
+	"pargraph/internal/sim"
+)
+
+// Config describes an MTA machine instance.
+type Config struct {
+	Procs          int     // number of processors
+	StreamsPerProc int     // hardware streams per processor (MTA-2: 128)
+	UseStreams     int     // streams requested per processor ("use 100 streams")
+	ClockMHz       float64 // processor clock (MTA-2: 220)
+	MemLatency     float64 // average memory latency in cycles (~100)
+	Lookahead      int     // max outstanding refs per stream (MTA-2: 8)
+	HashMemory     bool    // hash logical to physical addresses (MTA-2: on)
+	Banks          int     // memory banks machine-wide
+	BankCycle      float64 // cycles between accepted requests at one bank
+	HotspotCycle   float64 // serialization cost per FEB retry at one word
+	BarrierCycles  float64 // cost of a full-machine barrier
+	DynChunk       int     // iterations grabbed per int_fetch_add in dynamic loops
+}
+
+// DefaultConfig returns the paper's MTA-2 parameters for procs processors.
+// The paper's codes request 100 streams per processor via
+// `#pragma mta use 100 streams`; UseStreams reflects that.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:          procs,
+		StreamsPerProc: 128,
+		UseStreams:     100,
+		ClockMHz:       220,
+		MemLatency:     100,
+		Lookahead:      8,
+		HashMemory:     true,
+		Banks:          128 * procs,
+		BankCycle:      1, // a memory module accepts one reference per cycle
+		HotspotCycle:   8,
+		BarrierCycles:  256,
+		DynChunk:       8,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Procs <= 0:
+		return fmt.Errorf("mta: Procs must be positive, got %d", c.Procs)
+	case c.StreamsPerProc <= 0:
+		return fmt.Errorf("mta: StreamsPerProc must be positive, got %d", c.StreamsPerProc)
+	case c.UseStreams <= 0 || c.UseStreams > c.StreamsPerProc:
+		return fmt.Errorf("mta: UseStreams must be in [1,%d], got %d", c.StreamsPerProc, c.UseStreams)
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("mta: ClockMHz must be positive")
+	case c.MemLatency <= 0:
+		return fmt.Errorf("mta: MemLatency must be positive")
+	case c.Lookahead <= 0:
+		return fmt.Errorf("mta: Lookahead must be positive")
+	case c.Banks <= 0:
+		return fmt.Errorf("mta: Banks must be positive")
+	case c.DynChunk <= 0:
+		return fmt.Errorf("mta: DynChunk must be positive")
+	}
+	return nil
+}
+
+// Stats accumulates machine activity over a run.
+type Stats struct {
+	Cycles      float64 // total simulated wall cycles
+	Issued      float64 // issue slots consumed across all processors
+	Refs        int64   // memory references
+	Instrs      int64   // non-memory instructions
+	FetchAdds   int64   // int_fetch_add operations
+	SyncOps     int64   // FEB synchronized loads/stores
+	Retries     int64   // FEB retries induced by hotspots
+	Regions     int     // parallel regions executed
+	Barriers    int     // barriers executed
+	SerialSpans int     // serial sections executed
+	BankStalls  float64 // cycles regions were stretched by bank conflicts
+}
+
+// Machine is a simulated MTA. It is not safe for concurrent use: kernels
+// execute their simulated threads natively one at a time, which keeps the
+// simulation deterministic.
+type Machine struct {
+	cfg   Config
+	stats Stats
+
+	// Per-region scratch, reset by ParallelFor/Serial.
+	bankRefs       []int64
+	hotWords       map[uint64]int64
+	regionCtrGrabs int64
+	maxExact       int
+	items          []sim.Item
+
+	tracing bool
+	trace   []RegionStat
+
+	recordMax int
+	recorded  []RecordedRegion
+}
+
+// New constructs a machine. It panics on an invalid configuration, which
+// is always a programming error at experiment-setup time.
+func New(cfg Config) *Machine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{
+		cfg:      cfg,
+		bankRefs: make([]int64, cfg.Banks),
+		hotWords: make(map[uint64]int64),
+		maxExact: 1 << 17,
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Reset clears accumulated statistics and any trace, keeping the
+// configuration.
+func (m *Machine) Reset() {
+	m.stats = Stats{}
+	m.trace = m.trace[:0]
+}
+
+// Cycles returns total simulated cycles so far.
+func (m *Machine) Cycles() float64 { return m.stats.Cycles }
+
+// Seconds converts the simulated cycle count to seconds at the machine's
+// clock rate.
+func (m *Machine) Seconds() float64 { return m.stats.Cycles / (m.cfg.ClockMHz * 1e6) }
+
+// Utilization is the fraction of issue slots used machine-wide since the
+// last Reset — the quantity the paper reports in Table 1.
+func (m *Machine) Utilization() float64 {
+	if m.stats.Cycles <= 0 {
+		return 0
+	}
+	return m.stats.Issued / (m.stats.Cycles * float64(m.cfg.Procs))
+}
+
+// hash mixes a logical word address to a physical one, destroying spatial
+// order exactly as the MTA-2's logical-to-physical scrambling does.
+func hash(addr uint64) uint64 {
+	z := addr + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *Machine) bankOf(addr uint64) int {
+	if m.cfg.HashMemory {
+		addr = hash(addr)
+	}
+	return int(addr % uint64(m.cfg.Banks))
+}
+
+// Thread tallies the demand of one simulated thread (one loop iteration
+// or one serial section). Kernels call its methods as they execute.
+type Thread struct {
+	m           *Machine
+	instr       float64
+	serialRefs  float64
+	overlapRefs float64
+	syncOps     float64
+	rec         *TraceItem // non-nil while the machine records this region
+}
+
+func (t *Thread) chargeRef(addr uint64) {
+	t.m.stats.Refs++
+	t.m.bankRefs[t.m.bankOf(addr)]++
+}
+
+// Instr charges n ordinary (non-memory) instructions.
+func (t *Thread) Instr(n int) {
+	t.instr += float64(n)
+	t.m.stats.Instrs += int64(n)
+	t.recordOp(OpCompute, n)
+}
+
+// Load charges an independent memory read: one that does not feed the
+// address of the next reference, so the stream may overlap it with other
+// outstanding references (up to the machine's lookahead).
+func (t *Thread) Load(addr uint64) {
+	t.overlapRefs++
+	t.chargeRef(addr)
+	t.recordOp(OpMemOverlap, 1)
+}
+
+// LoadDep charges a dependent memory read — a pointer chase such as
+// j = list[j] — which serializes against the previous reference and
+// blocks the stream for the full memory latency.
+func (t *Thread) LoadDep(addr uint64) {
+	t.serialRefs++
+	t.chargeRef(addr)
+	t.recordOp(OpMemDep, 1)
+}
+
+// Store charges a memory write. Writes do not block the stream.
+func (t *Thread) Store(addr uint64) {
+	t.overlapRefs++
+	t.chargeRef(addr)
+	t.recordOp(OpMemOverlap, 1)
+}
+
+// FetchAdd charges an int_fetch_add: a one-cycle atomic at the memory
+// word, but the issuing thread still pays a round trip for the returned
+// value.
+func (t *Thread) FetchAdd(addr uint64) {
+	t.m.stats.FetchAdds++
+	t.serialRefs++
+	t.chargeRef(addr)
+	t.recordOp(OpMemDep, 1)
+}
+
+// SyncLoad charges a synchronized (full/empty bit) load: readff/readfe.
+// Contended words serialize; the machine models the hotspot at region
+// granularity.
+func (t *Thread) SyncLoad(addr uint64) {
+	t.syncOps++
+	t.m.stats.SyncOps++
+	t.serialRefs++
+	t.chargeRef(addr)
+	t.m.hotWords[addr]++
+}
+
+// SyncStore charges a synchronized store: writeef.
+func (t *Thread) SyncStore(addr uint64) {
+	t.syncOps++
+	t.m.stats.SyncOps++
+	t.overlapRefs++
+	t.chargeRef(addr)
+	t.m.hotWords[addr]++
+}
+
+// item converts the tally to a schedulable item. Every memory reference
+// also consumes an issue slot; dependent references serialize for the
+// full latency while independent ones overlap up to the lookahead depth.
+func (t *Thread) item(cfg Config) sim.Item {
+	issue := t.instr + t.serialRefs + t.overlapRefs
+	crit := t.instr +
+		t.serialRefs*cfg.MemLatency +
+		t.overlapRefs*cfg.MemLatency/float64(cfg.Lookahead)
+	if crit < issue {
+		crit = issue
+	}
+	return sim.Item{Issue: issue, Crit: crit}
+}
+
+func (t *Thread) reset() {
+	t.instr, t.serialRefs, t.overlapRefs, t.syncOps = 0, 0, 0, 0
+}
+
+// beginRegion clears per-region accounting.
+func (m *Machine) beginRegion() {
+	for i := range m.bankRefs {
+		m.bankRefs[i] = 0
+	}
+	if len(m.hotWords) > 0 {
+		m.hotWords = make(map[uint64]int64)
+	}
+	m.regionCtrGrabs = 0
+}
+
+// grabCounter charges one int_fetch_add on the shared loop counter. The
+// counter word is served by the MTA's one-cycle atomic at the memory
+// module, so grabs serialize at one per cycle but do not occupy a data
+// bank.
+func (t *Thread) grabCounter() {
+	t.m.stats.FetchAdds++
+	t.m.regionCtrGrabs++
+	t.serialRefs++
+	t.m.stats.Refs++
+	t.recordOp(OpMemDep, 1)
+}
+
+// regionFloor returns the lower bound on the region's wall time imposed
+// by memory banks and FEB hotspots: a bank accepts one request per
+// BankCycle cycles, and competing FEB operations on one word serialize.
+func (m *Machine) regionFloor() (floor float64, retries int64) {
+	var peak int64
+	for _, c := range m.bankRefs {
+		if c > peak {
+			peak = c
+		}
+	}
+	floor = float64(peak) * m.cfg.BankCycle
+	var hottest int64
+	for _, c := range m.hotWords {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest > 1 {
+		hot := float64(hottest) * m.cfg.HotspotCycle
+		if hot > floor {
+			floor = hot
+		}
+		retries = hottest - 1
+	}
+	if ctr := float64(m.regionCtrGrabs); ctr > floor {
+		floor = ctr // the shared counter serves one grab per cycle
+	}
+	return floor, retries
+}
+
+// ParallelFor executes body for each iteration in [0, n), charging each
+// iteration's demand to a fresh simulated thread, then advances the
+// machine clock by the region's simulated wall time. With SchedDynamic
+// each iteration also pays the int_fetch_add that fetches its index from
+// the shared loop counter, as the paper's codes do.
+func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread)) sim.RegionResult {
+	if n < 0 {
+		panic("mta: negative iteration count")
+	}
+	m.beginRegion()
+	m.stats.Regions++
+	exact := n <= m.maxExact
+	if exact {
+		if cap(m.items) < n {
+			m.items = make([]sim.Item, 0, n)
+		}
+		m.items = m.items[:0]
+	}
+	var t Thread
+	t.m = m
+	recording := m.recordMax > 0 && n <= m.recordMax
+	var itemTraces []TraceItem
+	if recording {
+		itemTraces = make([]TraceItem, n)
+	}
+	var totIssue, totCrit, maxCrit float64
+	for i := 0; i < n; i++ {
+		t.reset()
+		if recording {
+			t.rec = &itemTraces[i]
+		} else {
+			t.rec = nil
+		}
+		if sched == sim.SchedDynamic && i%m.cfg.DynChunk == 0 {
+			// A stream grabs DynChunk iterations per int_fetch_add, as
+			// the MTA compiler's chunked dynamic schedule does.
+			t.grabCounter()
+		}
+		body(i, &t)
+		it := t.item(m.cfg)
+		totIssue += it.Issue
+		totCrit += it.Crit
+		if it.Crit > maxCrit {
+			maxCrit = it.Crit
+		}
+		if exact {
+			m.items = append(m.items, it)
+		}
+	}
+	var res sim.RegionResult
+	if n == 0 {
+		return res
+	}
+	if exact {
+		res = sim.RunRegion(m.cfg.Procs, m.cfg.UseStreams, m.items, sched)
+	} else {
+		avg := sim.Item{Issue: totIssue / float64(n), Crit: totCrit / float64(n)}
+		res = sim.RunUniformRegion(m.cfg.Procs, m.cfg.UseStreams, n, avg, sched)
+		if maxCrit > res.Cycles {
+			res.Cycles = maxCrit
+		}
+		res.Issued = totIssue
+	}
+	floor, retries := m.regionFloor()
+	if floor > res.Cycles {
+		m.stats.BankStalls += floor - res.Cycles
+		res.Cycles = floor
+	}
+	m.stats.Retries += retries
+	m.stats.Cycles += res.Cycles
+	m.stats.Issued += res.Issued
+	m.record("parallel", n, res.Cycles, res.Issued)
+	if recording {
+		m.recorded = append(m.recorded, RecordedRegion{Items: itemTraces, Cycles: res.Cycles, Issued: res.Issued})
+	}
+	return res
+}
+
+// Serial executes body as a single simulated thread — a section with no
+// parallelism, such as a scalar reduction the compiler could not
+// parallelize. The machine advances by the thread's critical path.
+func (m *Machine) Serial(body func(t *Thread)) {
+	m.beginRegion()
+	m.stats.SerialSpans++
+	var t Thread
+	t.m = m
+	body(&t)
+	it := t.item(m.cfg)
+	floor, retries := m.regionFloor()
+	cycles := it.Crit
+	if floor > cycles {
+		cycles = floor
+	}
+	m.stats.Retries += retries
+	m.stats.Cycles += cycles
+	m.stats.Issued += it.Issue
+	m.record("serial", 1, cycles, it.Issue)
+}
+
+// Barrier charges a full-machine barrier.
+func (m *Machine) Barrier() {
+	m.stats.Barriers++
+	m.stats.Cycles += m.cfg.BarrierCycles
+	m.record("barrier", 0, m.cfg.BarrierCycles, 0)
+}

@@ -1,0 +1,42 @@
+package mta
+
+// Trace recording: a Machine can capture the exact per-iteration
+// operation sequences of its parallel regions, so the fast
+// processor-sharing timing of a *real kernel run* can be replayed
+// through the cycle-exact engine (CycleSim) and compared. This closes
+// the validation loop: cycle.go checks the model on synthetic shapes,
+// and this file checks it on the paper's actual workloads.
+
+// RecordRegions makes the machine keep, for every subsequent parallel
+// region with at most maxItems iterations, the operation trace of every
+// iteration. Recording is for validation only; it does not change
+// timing.
+func (m *Machine) RecordRegions(maxItems int) {
+	m.recordMax = maxItems
+	m.recorded = nil
+}
+
+// RecordedRegion is one captured parallel region.
+type RecordedRegion struct {
+	Items  []TraceItem
+	Cycles float64 // what the fast model charged for the region
+	Issued float64
+}
+
+// Recorded returns the captured regions.
+func (m *Machine) Recorded() []RecordedRegion { return m.recorded }
+
+// recordOp appends an op to the current iteration's trace, coalescing
+// consecutive same-kind entries.
+func (t *Thread) recordOp(kind OpKind, n int) {
+	if t.rec == nil {
+		return
+	}
+	tr := *t.rec
+	if len(tr) > 0 && tr[len(tr)-1].Kind == kind {
+		tr[len(tr)-1].N += n
+		*t.rec = tr
+		return
+	}
+	*t.rec = append(tr, Op{Kind: kind, N: n})
+}

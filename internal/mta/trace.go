@@ -1,0 +1,48 @@
+package mta
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// RegionStat is one entry of a machine execution trace: a parallel
+// region, a serial section, or a barrier, with its simulated cost.
+type RegionStat struct {
+	Kind        string // "parallel", "serial", "barrier"
+	Items       int    // loop iterations (parallel regions only)
+	Cycles      float64
+	Issued      float64
+	Utilization float64 // per-region issue-slot utilization
+}
+
+// EnableTrace starts recording one RegionStat per region/barrier.
+// Tracing is off by default; it costs one small append per region.
+func (m *Machine) EnableTrace() { m.tracing = true }
+
+// Trace returns the recorded execution trace.
+func (m *Machine) Trace() []RegionStat { return m.trace }
+
+func (m *Machine) record(kind string, items int, cycles, issued float64) {
+	if !m.tracing {
+		return
+	}
+	util := 0.0
+	if cycles > 0 {
+		util = issued / (cycles * float64(m.cfg.Procs))
+	}
+	m.trace = append(m.trace, RegionStat{
+		Kind: kind, Items: items, Cycles: cycles, Issued: issued, Utilization: util,
+	})
+}
+
+// WriteTrace prints the recorded trace as a table.
+func (m *Machine) WriteTrace(w io.Writer) {
+	fmt.Fprintf(w, "MTA execution trace (%d entries)\n", len(m.trace))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tkind\titems\tcycles\tutilization")
+	for i, r := range m.trace {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.0f\t%.0f%%\n", i, r.Kind, r.Items, r.Cycles, r.Utilization*100)
+	}
+	tw.Flush()
+}

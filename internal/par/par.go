@@ -1,0 +1,126 @@
+// Package par provides the minimal fork-join helpers the native
+// (goroutine-based) algorithm implementations share: a blocked parallel
+// for and a reusable barrier, the two primitives the paper's SMP codes
+// are written with (pthreads + software barriers).
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// panicCatcher records the first worker panic so the fork-join calls can
+// re-raise it in the caller's goroutine; an unrecovered panic inside a
+// spawned goroutine would otherwise kill the process and be uncatchable
+// by the caller.
+type panicCatcher struct {
+	once sync.Once
+	val  interface{}
+}
+
+func (c *panicCatcher) capture() {
+	if r := recover(); r != nil {
+		c.once.Do(func() { c.val = r })
+	}
+}
+
+func (c *panicCatcher) rethrow() {
+	if c.val != nil {
+		panic(fmt.Sprintf("par: worker panicked: %v", c.val))
+	}
+}
+
+// For splits [0, n) into p nearly equal blocks and runs body for each in
+// its own goroutine, waiting for all to finish. body receives the worker
+// index and its half-open range. p < 1 is treated as 1; empty blocks are
+// skipped.
+func For(n, p int, body func(worker, lo, hi int)) {
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 {
+		if n > 0 {
+			body(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var pc panicCatcher
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer pc.capture()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	pc.rethrow()
+}
+
+// Workers runs body once per worker 0..p-1 concurrently and waits. It is
+// For without the range split, for SPMD-style phases that partition work
+// themselves.
+func Workers(p int, body func(worker int)) {
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	var pc panicCatcher
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer pc.capture()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+	pc.rethrow()
+}
+
+// Barrier is a reusable counting barrier for p participants, the software
+// synchronization construct the paper's SMP codes rely on.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	phase int
+}
+
+// NewBarrier returns a barrier for p participants. It panics if p < 1.
+func NewBarrier(p int) *Barrier {
+	if p < 1 {
+		panic("par: barrier needs at least one participant")
+	}
+	b := &Barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all p participants have called Wait, then releases
+// them together. The barrier is immediately reusable.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,146 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100, 1001} {
+			hits := make([]int32, n)
+			For(n, p, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d n=%d: index %d covered %d times", p, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIndices(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	For(100, 4, func(w, lo, hi int) {
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+	})
+	if len(seen) != 4 {
+		t.Fatalf("saw workers %v, want 4 distinct", seen)
+	}
+}
+
+func TestForNonPositiveP(t *testing.T) {
+	ran := false
+	For(3, 0, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 3 {
+			t.Fatalf("fallback got w=%d lo=%d hi=%d", w, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	var count int32
+	For(2, 16, func(w, lo, hi int) {
+		atomic.AddInt32(&count, int32(hi-lo))
+	})
+	if count != 2 {
+		t.Fatalf("covered %d items, want 2", count)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	var count int32
+	Workers(8, func(w int) { atomic.AddInt32(&count, 1) })
+	if count != 8 {
+		t.Fatalf("ran %d workers, want 8", count)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	const rounds = 50
+	b := NewBarrier(p)
+	var phase int32
+	errs := make(chan string, p)
+	Workers(p, func(w int) {
+		for r := 0; r < rounds; r++ {
+			if got := atomic.LoadInt32(&phase); got != int32(r) {
+				errs <- "worker observed wrong phase"
+				return
+			}
+			b.Wait()
+			if w == 0 {
+				atomic.AddInt32(&phase, 1)
+			}
+			b.Wait()
+		}
+		errs <- ""
+	})
+	for i := 0; i < p; i++ {
+		if e := <-errs; e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	b := NewBarrier(2)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Wait()
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		b.Wait()
+	}
+	<-done
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in worker did not reach the caller")
+		}
+	}()
+	For(10, 4, func(w, lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in worker did not reach the caller")
+		}
+	}()
+	Workers(3, func(w int) {
+		if w == 1 {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Package prefix implements prefix-sum (scan) computations on arrays.
+// List ranking is "the prefix problem on a list" (§3); the array version
+// here is the building block the Helman–JáJá algorithm uses in its step 4
+// to combine sublist totals, and the parallel form is the classic
+// blocked two-pass scan.
+package prefix
+
+import "sync"
+
+// Inclusive overwrites x with its inclusive prefix sums: x[i] = Σ x[0..i].
+func Inclusive(x []int64) {
+	var acc int64
+	for i, v := range x {
+		acc += v
+		x[i] = acc
+	}
+}
+
+// Exclusive overwrites x with its exclusive prefix sums and returns the
+// total: x[i] = Σ x[0..i-1].
+func Exclusive(x []int64) int64 {
+	var acc int64
+	for i, v := range x {
+		x[i] = acc
+		acc += v
+	}
+	return acc
+}
+
+// Sum returns the total of x.
+func Sum(x []int64) int64 {
+	var acc int64
+	for _, v := range x {
+		acc += v
+	}
+	return acc
+}
+
+// ParallelInclusive computes inclusive prefix sums with p goroutines
+// using the standard two-pass blocked scan: each worker scans its block,
+// block totals are scanned serially, and each worker adds its offset.
+// For p <= 1 or short inputs it falls back to the serial scan.
+func ParallelInclusive(x []int64, p int) {
+	n := len(x)
+	if p <= 1 || n < 2*p {
+		Inclusive(x)
+		return
+	}
+	totals := make([]int64, p)
+	bounds := func(w int) (int, int) { return w * n / p, (w + 1) * n / p }
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := bounds(w)
+			var acc int64
+			for i := lo; i < hi; i++ {
+				acc += x[i]
+				x[i] = acc
+			}
+			totals[w] = acc
+		}(w)
+	}
+	wg.Wait()
+
+	Exclusive(totals)
+
+	for w := 1; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := bounds(w)
+			off := totals[w]
+			for i := lo; i < hi; i++ {
+				x[i] += off
+			}
+		}(w)
+	}
+	wg.Wait()
+}

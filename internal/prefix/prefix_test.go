@@ -1,0 +1,112 @@
+package prefix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/rng"
+)
+
+func TestInclusiveSmall(t *testing.T) {
+	x := []int64{1, 2, 3, 4}
+	Inclusive(x)
+	want := []int64{1, 3, 6, 10}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestExclusiveSmall(t *testing.T) {
+	x := []int64{1, 2, 3, 4}
+	total := Exclusive(x)
+	want := []int64{0, 1, 3, 6}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	Inclusive(nil)
+	if total := Exclusive(nil); total != 0 {
+		t.Fatalf("empty exclusive total = %d", total)
+	}
+	x := []int64{7}
+	Inclusive(x)
+	if x[0] != 7 {
+		t.Fatal("single-element inclusive wrong")
+	}
+	ParallelInclusive(nil, 4)
+}
+
+func TestSum(t *testing.T) {
+	if Sum([]int64{1, -2, 3}) != 2 {
+		t.Fatal("Sum wrong")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	check := func(seed uint64, size uint16, workers uint8) bool {
+		n := int(size)%5000 + 1
+		p := int(workers)%16 + 1
+		r := rng.New(seed)
+		x := make([]int64, n)
+		for i := range x {
+			x[i] = int64(r.Intn(1000)) - 500
+		}
+		y := append([]int64(nil), x...)
+		Inclusive(x)
+		ParallelInclusive(y, p)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelLarge(t *testing.T) {
+	const n = 1 << 18
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	ParallelInclusive(x, 8)
+	for i := range x {
+		if x[i] != int64(i+1) {
+			t.Fatalf("x[%d] = %d, want %d", i, x[i], i+1)
+		}
+	}
+}
+
+func BenchmarkInclusive1M(b *testing.B) {
+	x := make([]int64, 1<<20)
+	for i := range x {
+		x[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Inclusive(x)
+	}
+}
+
+func BenchmarkParallelInclusive1M(b *testing.B) {
+	x := make([]int64, 1<<20)
+	for i := range x {
+		x[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelInclusive(x, 8)
+	}
+}

@@ -1,0 +1,302 @@
+package sim
+
+// Item is one unit of schedulable work in a parallel region — on the MTA,
+// one iteration of a parallel loop (for list ranking, one walk).
+//
+// Issue is the number of processor issue slots the item consumes
+// (instructions, including the issue slot of each memory reference).
+// Crit is the item's critical path in cycles when run alone: issue cycles
+// plus serialized memory latency. Crit is never less than Issue.
+type Item struct {
+	Issue float64
+	Crit  float64
+}
+
+// Sched selects how region iterations are handed to hardware streams.
+type Sched int
+
+const (
+	// SchedDynamic models `#pragma mta dynamic schedule`: a shared loop
+	// counter bumped with int_fetch_add; each stream takes the next
+	// iteration when it finishes its current one.
+	SchedDynamic Sched = iota
+	// SchedBlock pre-partitions iterations into contiguous equal blocks,
+	// one block per stream, as a static compiler schedule would.
+	SchedBlock
+)
+
+// RegionResult reports the simulated execution of one parallel region.
+type RegionResult struct {
+	Cycles float64 // wall time of the region in processor cycles
+	Issued float64 // issue slots actually consumed, summed over processors
+	Items  int     // number of items executed
+}
+
+// Utilization returns the fraction of issue slots used across procs
+// processors for the region.
+func (r RegionResult) Utilization(procs int) float64 {
+	if r.Cycles <= 0 {
+		return 0
+	}
+	return r.Issued / (r.Cycles * float64(procs))
+}
+
+// itemHeap is a hand-rolled min-heap of in-flight items ordered by
+// nominal (virtual-time) finish. container/heap would box a flight into
+// an interface on every push/pop — millions of allocations per region —
+// so the sift operations are written out.
+type itemHeap []flight
+
+type flight struct {
+	finishV float64 // virtual time at which the item completes
+	demand  float64 // issue-rate demand while active
+	issue   float64
+	stream  int // global stream index, for block scheduling refill
+}
+
+func (h *itemHeap) push(f flight) {
+	*h = append(*h, f)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].finishV <= s[i].finishV {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *itemHeap) pop() flight {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l].finishV < s[small].finishV {
+			small = l
+		}
+		if r < len(s) && s[r].finishV < s[small].finishV {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// procState is the processor-sharing state of one processor's issue slot.
+//
+// All active streams on a processor stretch uniformly when the summed
+// issue demand exceeds 1.0, so item progress can be tracked in a shared
+// virtual time V that advances at wall rate 1/max(1, demand).
+type procState struct {
+	inflight itemHeap
+	v        float64 // current virtual time
+	demand   float64 // sum of active item demands
+	wall     float64 // wall time at which v and demand were last valid
+	issued   float64
+}
+
+func (p *procState) stretch() float64 {
+	if p.demand > 1 {
+		return p.demand
+	}
+	return 1
+}
+
+// advance moves the processor's local clocks to wall time t. Completion
+// times are reconstructed from virtual time with floating-point rounding,
+// so a tiny negative step is clamped; a large one is a model bug.
+func (p *procState) advance(t float64) {
+	if t < p.wall {
+		if p.wall-t > 1e-6*(1+p.wall) {
+			panic("sim: processor clock moved backwards")
+		}
+		t = p.wall
+	}
+	dt := t - p.wall
+	if dt > 0 {
+		p.v += dt / p.stretch()
+		used := p.demand
+		if used > 1 {
+			used = 1
+		}
+		p.issued += dt * used
+		p.wall = t
+	}
+}
+
+// nextFinishWall returns the wall time of this processor's earliest item
+// completion, or +inf if it has none in flight.
+func (p *procState) nextFinishWall() float64 {
+	if len(p.inflight) == 0 {
+		return inf
+	}
+	dv := p.inflight[0].finishV - p.v
+	if dv < 0 {
+		dv = 0
+	}
+	return p.wall + dv*p.stretch()
+}
+
+func (p *procState) start(it Item, stream int) {
+	crit := it.Crit
+	if crit < it.Issue {
+		crit = it.Issue
+	}
+	if crit <= 0 {
+		crit = 1e-9
+	}
+	d := it.Issue / crit
+	p.inflight.push(flight{finishV: p.v + crit, demand: d, issue: it.Issue, stream: stream})
+	p.demand += d
+}
+
+const inf = 1e300
+
+// RunRegion simulates one parallel region of items on procs processors
+// with streamsPerProc hardware streams each, and returns its wall time in
+// cycles plus the issue slots consumed.
+//
+// The model is exact at item granularity: completions are discrete events,
+// streams pick up new work according to sched, and each processor's issue
+// slot is a processor-sharing resource (see the package comment).
+func RunRegion(procs, streamsPerProc int, items []Item, sched Sched) RegionResult {
+	if procs <= 0 || streamsPerProc <= 0 {
+		panic("sim: region needs at least one processor and one stream")
+	}
+	n := len(items)
+	if n == 0 {
+		return RegionResult{}
+	}
+	ps := make([]procState, procs)
+	totalStreams := procs * streamsPerProc
+
+	// Block scheduling: stream s owns items [s*n/S, (s+1)*n/S).
+	blockNext := make([]int, 0)
+	blockEnd := make([]int, 0)
+	if sched == SchedBlock {
+		blockNext = make([]int, totalStreams)
+		blockEnd = make([]int, totalStreams)
+		for s := 0; s < totalStreams; s++ {
+			blockNext[s] = s * n / totalStreams
+			blockEnd[s] = (s + 1) * n / totalStreams
+		}
+	}
+	nextDynamic := 0
+
+	// pull hands the next item for global stream s, or ok=false.
+	pull := func(s int) (Item, bool) {
+		switch sched {
+		case SchedDynamic:
+			if nextDynamic >= n {
+				return Item{}, false
+			}
+			it := items[nextDynamic]
+			nextDynamic++
+			return it, true
+		default:
+			if blockNext[s] >= blockEnd[s] {
+				return Item{}, false
+			}
+			it := items[blockNext[s]]
+			blockNext[s]++
+			return it, true
+		}
+	}
+
+	// Prime every stream.
+	for s := 0; s < totalStreams; s++ {
+		p := s / streamsPerProc
+		if it, ok := pull(s); ok {
+			ps[p].start(it, s)
+		}
+	}
+
+	now := 0.0
+	done := 0
+	for done < n {
+		// Earliest completion across processors, in wall time.
+		best, bestT := -1, inf
+		for i := range ps {
+			if t := ps[i].nextFinishWall(); t < bestT {
+				bestT, best = t, i
+			}
+		}
+		if best < 0 {
+			panic("sim: region deadlocked with items remaining")
+		}
+		now = bestT
+		p := &ps[best]
+		p.advance(now)
+		f := p.inflight.pop()
+		p.demand -= f.demand
+		if p.demand < 1e-12 {
+			p.demand = 0
+		}
+		done++
+		if it, ok := pull(f.stream); ok {
+			p.start(it, f.stream)
+		}
+	}
+	var issued float64
+	for i := range ps {
+		ps[i].advance(now)
+		issued += ps[i].issued
+	}
+	return RegionResult{Cycles: now, Issued: issued, Items: n}
+}
+
+// RunUniformRegion is the closed-form fast path for regions whose items
+// all share the same demand profile (for example the per-edge loops of
+// Shiloach–Vishkin, where storing millions of identical Items would be
+// wasteful). It matches RunRegion on uniform inputs: the region runs at
+// full issue rate while saturated and drains the tail exactly.
+func RunUniformRegion(procs, streamsPerProc, n int, it Item, sched Sched) RegionResult {
+	if n == 0 {
+		return RegionResult{}
+	}
+	crit := it.Crit
+	if crit < it.Issue {
+		crit = it.Issue
+	}
+	if crit <= 0 {
+		crit = 1e-9
+	}
+	// With identical items both schedules assign ceil/floor(n/S) rounds per
+	// stream; a stream with k items has critical path k*crit. A processor
+	// with S streams of demand d=issue/crit each saturates when S*d > 1.
+	S := streamsPerProc
+	// Items are spread across processors nearly evenly under either policy.
+	perProc := (n + procs - 1) / procs
+	rounds := (perProc + S - 1) / S
+	streamsBusyLast := perProc - (rounds-1)*S // streams active in the final round
+	if rounds == 1 {
+		streamsBusyLast = perProc
+	}
+	d := it.Issue / crit
+	fullRoundTime := func(active int) float64 {
+		dem := float64(active) * d
+		if dem > 1 {
+			return crit * dem // processor-sharing stretch
+		}
+		return crit
+	}
+	cycles := 0.0
+	if rounds > 1 {
+		cycles += float64(rounds-1) * fullRoundTime(S)
+	}
+	cycles += fullRoundTime(streamsBusyLast)
+	// Issue slots consumed are exactly n*issue: every item runs once.
+	return RegionResult{Cycles: cycles, Issued: float64(n) * it.Issue, Items: n}
+}

@@ -1,0 +1,91 @@
+// Package sim provides the small discrete-event core shared by the two
+// machine models (internal/mta and internal/smp): a time-ordered event
+// calendar and a processor-sharing ("fluid") region simulator.
+//
+// The fluid simulator is the timing heart of the MTA model. A Cray MTA
+// processor issues at most one instruction per cycle, round-robin over its
+// ready hardware streams; a stream that has issued a memory reference is
+// blocked for the memory latency while the processor keeps issuing from
+// other streams. Simulating that barrel cycle-by-cycle is exact but
+// needlessly slow; instead we treat the processor's issue slot as a
+// processor-sharing resource. Each in-flight work item demands issue
+// bandwidth at rate (issue cycles)/(critical-path cycles); when the summed
+// demand of the active streams exceeds 1.0 the processor saturates and all
+// items stretch proportionally. Completions are simulated exactly as
+// discrete events, which is what makes dynamic (int_fetch_add) scheduling,
+// load imbalance, and end-of-loop tail effects come out of the model
+// instead of being assumed.
+package sim
+
+import "container/heap"
+
+// Event is an entry in the calendar.
+type Event struct {
+	Time float64 // simulated cycles
+	Seq  int     // tie-break so equal-time events pop in schedule order
+	Fn   func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Calendar is a time-ordered event queue. The zero value is ready to use.
+type Calendar struct {
+	h   eventHeap
+	now float64
+	seq int
+}
+
+// Now returns the current simulated time in cycles.
+func (c *Calendar) Now() float64 { return c.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would mean the model produced an acausal event.
+func (c *Calendar) At(t float64, fn func()) {
+	if t < c.now {
+		panic("sim: event scheduled in the past")
+	}
+	c.seq++
+	heap.Push(&c.h, &Event{Time: t, Seq: c.seq, Fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (c *Calendar) After(d float64, fn func()) { c.At(c.now+d, fn) }
+
+// Empty reports whether no events remain.
+func (c *Calendar) Empty() bool { return len(c.h) == 0 }
+
+// Step pops and runs the earliest event, advancing the clock. It reports
+// whether an event was run.
+func (c *Calendar) Step() bool {
+	if len(c.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.h).(*Event)
+	c.now = e.Time
+	e.Fn()
+	return true
+}
+
+// Run drains the calendar.
+func (c *Calendar) Run() {
+	for c.Step() {
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCalendarOrdering(t *testing.T) {
+	var c Calendar
+	var got []float64
+	c.At(3, func() { got = append(got, 3) })
+	c.At(1, func() { got = append(got, 1) })
+	c.At(2, func() { got = append(got, 2) })
+	c.Run()
+	if !sort.Float64sAreSorted(got) || len(got) != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", c.Now())
+	}
+}
+
+func TestCalendarTieBreakFIFO(t *testing.T) {
+	var c Calendar
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(5, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events ran out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestCalendarAfterAndNesting(t *testing.T) {
+	var c Calendar
+	var trace []float64
+	c.At(1, func() {
+		c.After(2, func() { trace = append(trace, c.Now()) })
+	})
+	c.Run()
+	if len(trace) != 1 || trace[0] != 3 {
+		t.Fatalf("nested After landed at %v, want [3]", trace)
+	}
+}
+
+func TestCalendarPastPanics(t *testing.T) {
+	var c Calendar
+	c.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		c.At(1, func() {})
+	})
+	c.Run()
+}
+
+func TestCalendarStepEmpty(t *testing.T) {
+	var c Calendar
+	if c.Step() {
+		t.Fatal("Step on empty calendar reported an event")
+	}
+	if !c.Empty() {
+		t.Fatal("fresh calendar not empty")
+	}
+}

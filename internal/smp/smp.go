@@ -1,0 +1,355 @@
+// Package smp models a bus-based symmetric multiprocessor of the Sun
+// Enterprise E4500 class the paper measured: per-processor direct-mapped
+// L1 and external L2 caches, a shared uniform-memory-access bus with
+// finite bandwidth, and software barriers.
+//
+// Like internal/mta, the model is a fused trace-driven simulation.
+// Kernels execute natively, phase by phase; within a phase each simulated
+// processor runs its partition of the work against its own cache state
+// and tallies cycles, and the machine then charges the phase with the
+// slowest processor's time, stretched if the aggregate memory traffic
+// exceeds the bus bandwidth. Cache state persists across phases.
+//
+// This captures the three properties the paper attributes to SMPs:
+// performance is dominated by locality (hit rates), memory bandwidth is a
+// shared and limited resource, and synchronization is a software
+// construct with real cost.
+//
+// Coherence is approximated: the kernels reproduced here partition their
+// writes between processors within a phase (the Helman–JáJá and
+// Shiloach–Vishkin codes are phase-parallel), so the model does not
+// simulate per-line invalidations; stores still pay allocation traffic
+// on the bus.
+package smp
+
+import "fmt"
+
+// Config describes an SMP machine instance.
+type Config struct {
+	Procs     int
+	ClockMHz  float64 // processor clock (E4500: 400)
+	L1Bytes   int     // on-chip data cache (US-II: 16 KB direct mapped)
+	L1Line    int     // L1 line size in bytes (US-II: 32)
+	L1Assoc   int     // L1 associativity (US-II: 1, direct mapped)
+	L2Bytes   int     // external cache (E4500: 4 MB)
+	L2Line    int     // L2 line size in bytes (64)
+	L2Assoc   int     // L2 associativity (E4500: 1, direct mapped)
+	L1HitCy   float64 // L1 hit latency in cycles
+	L2HitCy   float64 // L1-miss/L2-hit latency in cycles
+	MemCy     float64 // L2-miss latency to main memory in cycles
+	BusBPC    float64 // shared bus bandwidth in bytes per cycle
+	BarrierCy float64 // base software barrier cost in cycles
+	BarrierPP float64 // additional barrier cost per processor
+	PhaseCy   float64 // per-phase parallel dispatch overhead
+}
+
+// DefaultConfig returns E4500-like parameters for procs processors: a
+// 400 MHz UltraSPARC II with 16 KB direct-mapped L1 (32-byte lines),
+// 4 MB L2 (64-byte lines), ~300-cycle memory, and a bus that sustains on
+// the order of 1.3 GB/s.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:     procs,
+		ClockMHz:  400,
+		L1Bytes:   16 << 10,
+		L1Line:    32,
+		L1Assoc:   1,
+		L2Bytes:   4 << 20,
+		L2Line:    64,
+		L2Assoc:   1,
+		L1HitCy:   1,
+		L2HitCy:   25,
+		MemCy:     300,
+		BusBPC:    3.2, // ~1.3 GB/s at 400 MHz
+		BarrierCy: 2000,
+		BarrierPP: 400,
+		PhaseCy:   1000,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Procs <= 0:
+		return fmt.Errorf("smp: Procs must be positive, got %d", c.Procs)
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("smp: ClockMHz must be positive")
+	case c.L1Bytes <= 0 || c.L2Bytes <= 0:
+		return fmt.Errorf("smp: cache sizes must be positive")
+	case c.L1Line <= 0 || c.L2Line <= 0:
+		return fmt.Errorf("smp: line sizes must be positive")
+	case c.L1Bytes%c.L1Line != 0 || c.L2Bytes%c.L2Line != 0:
+		return fmt.Errorf("smp: cache size must be a multiple of its line size")
+	case c.L1Assoc < 1 || c.L2Assoc < 1:
+		return fmt.Errorf("smp: associativity must be at least 1")
+	case c.L1Bytes%(c.L1Line*c.L1Assoc) != 0 || c.L2Bytes%(c.L2Line*c.L2Assoc) != 0:
+		return fmt.Errorf("smp: cache size must divide into assoc-wide sets")
+	case c.BusBPC <= 0:
+		return fmt.Errorf("smp: BusBPC must be positive")
+	case c.MemCy < c.L2HitCy || c.L2HitCy < c.L1HitCy:
+		return fmt.Errorf("smp: latencies must increase down the hierarchy")
+	}
+	return nil
+}
+
+// Stats accumulates machine activity over a run.
+type Stats struct {
+	Cycles   float64 // total simulated wall cycles
+	L1Hits   int64
+	L2Hits   int64
+	Misses   int64 // references served by main memory
+	Loads    int64
+	Stores   int64
+	Computes int64   // ALU cycles charged
+	BusBytes float64 // bytes moved over the shared bus
+	BusStall float64 // cycles phases were stretched by bus saturation
+	Phases   int
+	Barriers int
+}
+
+// cache is one set-associative tag array with LRU replacement. assoc = 1
+// degenerates to a direct-mapped cache (the E4500 configuration); the
+// associativity ablation (A6) raises it.
+type cache struct {
+	tags  []uint64 // assoc tags per set, LRU-ordered (index 0 = MRU);
+	sets  uint64   // 0 means empty (stored tags are shifted+1)
+	assoc int
+	shift uint // log2(line size)
+}
+
+func newCache(bytes, line, assoc int) *cache {
+	sets := bytes / line / assoc
+	sh := uint(0)
+	for 1<<sh < line {
+		sh++
+	}
+	return &cache{tags: make([]uint64, sets*assoc), sets: uint64(sets), assoc: assoc, shift: sh}
+}
+
+// access looks up addr and installs it on miss; it reports a hit. The
+// hit way is promoted to MRU; a miss evicts the LRU way.
+func (c *cache) access(addr uint64) bool {
+	lineAddr := addr >> c.shift
+	set := int(lineAddr%c.sets) * c.assoc
+	tag := lineAddr + 1 // +1 so an empty slot (0) never matches
+	ways := c.tags[set : set+c.assoc]
+	for i, w := range ways {
+		if w == tag {
+			// Promote to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	copy(ways[1:], ways[:c.assoc-1]) // evict LRU (last way)
+	ways[0] = tag
+	return false
+}
+
+func (c *cache) invalidateAll() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}
+
+// Proc is one simulated processor's execution context within a phase.
+// Kernels call its methods as they execute their partition of the work.
+type Proc struct {
+	id  int
+	cfg *Config
+	l1  *cache
+	l2  *cache
+
+	cycles   float64
+	busBytes float64
+	l1Hits   int64
+	l2Hits   int64
+	misses   int64
+	loads    int64
+	stores   int64
+	computes int64
+}
+
+// ID returns the processor's index within the machine, 0..Procs-1.
+func (p *Proc) ID() int { return p.id }
+
+func (p *Proc) ref(addr uint64) {
+	if p.l1.access(addr) {
+		p.l1Hits++
+		p.cycles += p.cfg.L1HitCy
+		return
+	}
+	if p.l2.access(addr) {
+		p.l2Hits++
+		p.cycles += p.cfg.L2HitCy
+		p.busBytes += float64(p.cfg.L1Line) // refill L1 from L2 over the board bus
+		return
+	}
+	p.misses++
+	p.cycles += p.cfg.MemCy
+	p.busBytes += float64(p.cfg.L2Line)
+}
+
+// Load charges a read of the word at addr through the cache hierarchy.
+func (p *Proc) Load(addr uint64) {
+	p.loads++
+	p.ref(addr)
+}
+
+// Store charges a write-allocate write of the word at addr.
+func (p *Proc) Store(addr uint64) {
+	p.stores++
+	p.ref(addr)
+}
+
+// Compute charges n ALU cycles.
+func (p *Proc) Compute(n int) {
+	p.computes += int64(n)
+	p.cycles += float64(n)
+}
+
+// Machine is a simulated SMP. Like the MTA model it is deterministic and
+// not safe for concurrent use.
+type Machine struct {
+	cfg    Config
+	stats  Stats
+	procs  []*Proc
+	next   uint64 // bump allocator for Alloc
+	allocs int    // allocation count, drives the anti-conflict stagger
+
+	tracing bool
+	trace   []PhaseStat
+}
+
+// New constructs a machine. It panics on an invalid configuration.
+func New(cfg Config) *Machine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{cfg: cfg, next: 1 << 20}
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{
+			id:  i,
+			cfg: &m.cfg,
+			l1:  newCache(cfg.L1Bytes, cfg.L1Line, cfg.L1Assoc),
+			l2:  newCache(cfg.L2Bytes, cfg.L2Line, cfg.L2Assoc),
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Cycles returns total simulated cycles so far.
+func (m *Machine) Cycles() float64 { return m.stats.Cycles }
+
+// Seconds converts the simulated cycle count to seconds.
+func (m *Machine) Seconds() float64 { return m.stats.Cycles / (m.cfg.ClockMHz * 1e6) }
+
+// Reset clears statistics, trace, and cache state, keeping the
+// configuration.
+func (m *Machine) Reset() {
+	m.stats = Stats{}
+	m.trace = m.trace[:0]
+	for _, p := range m.procs {
+		p.l1.invalidateAll()
+		p.l2.invalidateAll()
+	}
+}
+
+// Alloc reserves bytes of simulated address space, aligned to the L2
+// line, and returns the base address. Consecutive allocations are
+// staggered by a varying number of lines so that equal-sized arrays
+// indexed in lockstep do not land on identical direct-mapped sets — the
+// padding any tuned HPC code (or a page-coloring allocator) provides.
+func (m *Machine) Alloc(bytes int) uint64 {
+	if bytes < 0 {
+		panic("smp: negative allocation")
+	}
+	line := uint64(m.cfg.L2Line)
+	m.allocs++
+	stagger := (uint64(m.allocs) * 37 % 509) * line
+	base := (m.next+line-1)/line*line + stagger
+	m.next = base + uint64(bytes)
+	return base
+}
+
+// Phase runs body once per processor, each against its own caches, then
+// advances the machine clock by the slowest processor's time — stretched
+// to the bus bound if the phase's aggregate traffic exceeds the shared
+// bus bandwidth. Kernels partition work inside body using p.ID().
+func (m *Machine) Phase(body func(p *Proc)) {
+	before := m.stats
+	m.stats.Phases++
+	maxCycles := 0.0
+	var bytes float64
+	for _, p := range m.procs {
+		p.cycles, p.busBytes = 0, 0
+		body(p)
+		if p.cycles > maxCycles {
+			maxCycles = p.cycles
+		}
+		bytes += p.busBytes
+		m.stats.L1Hits += p.l1Hits
+		m.stats.L2Hits += p.l2Hits
+		m.stats.Misses += p.misses
+		m.stats.Loads += p.loads
+		m.stats.Stores += p.stores
+		m.stats.Computes += p.computes
+		p.l1Hits, p.l2Hits, p.misses, p.loads, p.stores, p.computes = 0, 0, 0, 0, 0, 0
+	}
+	phase := maxCycles + m.cfg.PhaseCy
+	if busTime := bytes / m.cfg.BusBPC; busTime > phase {
+		m.stats.BusStall += busTime - phase
+		phase = busTime
+	}
+	m.stats.BusBytes += bytes
+	m.stats.Cycles += phase
+	m.record("phase", before)
+}
+
+// Sequential runs body on processor 0 only — a serial section.
+func (m *Machine) Sequential(body func(p *Proc)) {
+	before := m.stats
+	p := m.procs[0]
+	p.cycles, p.busBytes = 0, 0
+	body(p)
+	if busTime := p.busBytes / m.cfg.BusBPC; busTime > p.cycles {
+		m.stats.BusStall += busTime - p.cycles
+		m.stats.Cycles += busTime
+	} else {
+		m.stats.Cycles += p.cycles
+	}
+	m.stats.BusBytes += p.busBytes
+	m.stats.L1Hits += p.l1Hits
+	m.stats.L2Hits += p.l2Hits
+	m.stats.Misses += p.misses
+	m.stats.Loads += p.loads
+	m.stats.Stores += p.stores
+	m.stats.Computes += p.computes
+	p.l1Hits, p.l2Hits, p.misses, p.loads, p.stores, p.computes = 0, 0, 0, 0, 0, 0
+	m.record("sequential", before)
+}
+
+// Barrier charges one software barrier: a base cost plus a per-processor
+// component, as a pthreads condition-variable barrier costs.
+func (m *Machine) Barrier() {
+	before := m.stats
+	m.stats.Barriers++
+	m.stats.Cycles += m.cfg.BarrierCy + m.cfg.BarrierPP*float64(m.cfg.Procs)
+	m.record("barrier", before)
+}
+
+// MissRatio returns references served by memory divided by all
+// references since the last Reset.
+func (m *Machine) MissRatio() float64 {
+	total := m.stats.L1Hits + m.stats.L2Hits + m.stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.stats.Misses) / float64(total)
+}

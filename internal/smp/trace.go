@@ -1,0 +1,52 @@
+package smp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PhaseStat is one entry of a machine execution trace: a parallel phase,
+// a sequential section, or a barrier, with its simulated cost and cache
+// behaviour.
+type PhaseStat struct {
+	Kind     string // "phase", "sequential", "barrier"
+	Cycles   float64
+	L1Hits   int64
+	L2Hits   int64
+	Misses   int64
+	BusBytes float64
+}
+
+// EnableTrace starts recording one PhaseStat per phase/barrier.
+func (m *Machine) EnableTrace() { m.tracing = true }
+
+// Trace returns the recorded execution trace.
+func (m *Machine) Trace() []PhaseStat { return m.trace }
+
+func (m *Machine) record(kind string, before Stats) {
+	if !m.tracing {
+		return
+	}
+	after := m.stats
+	m.trace = append(m.trace, PhaseStat{
+		Kind:     kind,
+		Cycles:   after.Cycles - before.Cycles,
+		L1Hits:   after.L1Hits - before.L1Hits,
+		L2Hits:   after.L2Hits - before.L2Hits,
+		Misses:   after.Misses - before.Misses,
+		BusBytes: after.BusBytes - before.BusBytes,
+	})
+}
+
+// WriteTrace prints the recorded trace as a table.
+func (m *Machine) WriteTrace(w io.Writer) {
+	fmt.Fprintf(w, "SMP execution trace (%d entries)\n", len(m.trace))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tkind\tcycles\tL1 hits\tL2 hits\tmem misses\tbus bytes")
+	for i, p := range m.trace {
+		fmt.Fprintf(tw, "%d\t%s\t%.0f\t%d\t%d\t%d\t%.0f\n",
+			i, p.Kind, p.Cycles, p.L1Hits, p.L2Hits, p.Misses, p.BusBytes)
+	}
+	tw.Flush()
+}

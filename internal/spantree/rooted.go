@@ -1,0 +1,68 @@
+package spantree
+
+import (
+	"fmt"
+
+	"pargraph/internal/euler"
+	"pargraph/internal/graph"
+)
+
+// Rooted computes a rooted spanning tree of the connected graph
+// containing root: a parallel spanning tree (SV grafting) whose tree
+// edges are then rooted with the Euler-tour technique — the composition
+// of Cong & Bader's "Euler tour technique and parallel rooted spanning
+// tree" (ICPP 2004), the application paper's reference [13]. It returns
+// parents, depths, and subtree sizes for every vertex of root's
+// component; vertices outside it get Parent -1, Depth/Size 0.
+func Rooted(g *graph.Graph, root, p int) (*euler.Tree, error) {
+	if root < 0 || root >= g.N {
+		return nil, fmt.Errorf("spantree: root %d out of range [0,%d)", root, g.N)
+	}
+	f := Parallel(g, p)
+
+	// Extract the component containing root and compact its vertices.
+	comp := f.Label[root]
+	compact := make([]int32, g.N) // original -> compact id, -1 outside
+	for i := range compact {
+		compact[i] = -1
+	}
+	var members []int32
+	for v := 0; v < g.N; v++ {
+		if f.Label[v] == comp {
+			compact[v] = int32(len(members))
+			members = append(members, int32(v))
+		}
+	}
+	edges := make([]graph.Edge, 0, len(members)-1)
+	for _, ei := range f.TreeEdges {
+		e := g.Edges[ei]
+		if f.Label[e.U] == comp {
+			edges = append(edges, graph.Edge{U: compact[e.U], V: compact[e.V]})
+		}
+	}
+
+	sub, err := euler.Root(len(members), edges, int(compact[root]), p)
+	if err != nil {
+		return nil, fmt.Errorf("spantree: rooting failed: %w", err)
+	}
+
+	// Expand back to the original vertex ids.
+	out := &euler.Tree{
+		N:      g.N,
+		Root:   root,
+		Parent: make([]int32, g.N),
+		Depth:  make([]int64, g.N),
+		Size:   make([]int64, g.N),
+	}
+	for i := range out.Parent {
+		out.Parent[i] = -1
+	}
+	for ci, v := range members {
+		if pp := sub.Parent[ci]; pp >= 0 {
+			out.Parent[v] = members[pp]
+		}
+		out.Depth[v] = sub.Depth[ci]
+		out.Size[v] = sub.Size[ci]
+	}
+	return out, nil
+}

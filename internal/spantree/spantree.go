@@ -1,0 +1,213 @@
+// Package spantree computes spanning forests in parallel, the
+// application the paper's introduction cites list ranking and
+// connectivity for (Bader & Cong's fast spanning-tree algorithms for
+// SMPs). The parallel algorithm is the Shiloach–Vishkin grafting loop
+// with edge recording: whenever a graft merges two trees, the edge that
+// caused it joins the forest. A compare-and-swap on the root's parent
+// word arbitrates racing grafts, so exactly one edge is recorded per
+// successful merge.
+package spantree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/par"
+)
+
+// Forest is a spanning forest of a graph: for every non-root vertex of
+// each component, the index (into the input edge list) of one tree edge,
+// plus component labels.
+type Forest struct {
+	N         int
+	TreeEdges []int32 // indices into the input edge list
+	Label     []int32 // component label per vertex
+}
+
+// Components returns the number of trees in the forest.
+func (f *Forest) Components() int { return f.N - len(f.TreeEdges) }
+
+// Verify checks that TreeEdges form a spanning forest of g: acyclic,
+// within components, and spanning every component.
+func (f *Forest) Verify(g *graph.Graph) error {
+	if f.N != g.N {
+		return fmt.Errorf("spantree: forest over %d vertices for a %d-vertex graph", f.N, g.N)
+	}
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, ei := range f.TreeEdges {
+		if ei < 0 || int(ei) >= len(g.Edges) {
+			return fmt.Errorf("spantree: tree edge index %d out of range", ei)
+		}
+		e := g.Edges[ei]
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			return fmt.Errorf("spantree: tree edge %d = (%d,%d) creates a cycle", ei, e.U, e.V)
+		}
+		parent[rv] = ru
+	}
+	// The forest must connect exactly what the graph connects.
+	want := graph.CountComponents(concompLabels(g))
+	if got := f.Components(); got != want {
+		return fmt.Errorf("spantree: forest has %d trees, graph has %d components", got, want)
+	}
+	return nil
+}
+
+// concompLabels is a local union-find labeling used only for Verify, so
+// the package does not depend on internal/concomp.
+func concompLabels(g *graph.Graph) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[rv] = ru
+		}
+	}
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = find(int32(i))
+	}
+	return label
+}
+
+// Sequential computes a spanning forest with union-find — the baseline.
+func Sequential(g *graph.Graph) *Forest {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	parent := make([]int32, g.N)
+	rank := make([]int8, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	f := &Forest{N: g.N}
+	for ei, e := range g.Edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		if rank[ru] < rank[rv] {
+			ru, rv = rv, ru
+		}
+		parent[rv] = ru
+		if rank[ru] == rank[rv] {
+			rank[ru]++
+		}
+		f.TreeEdges = append(f.TreeEdges, int32(ei))
+	}
+	f.Label = make([]int32, g.N)
+	for i := range f.Label {
+		f.Label[i] = find(int32(i))
+	}
+	return f
+}
+
+// Parallel computes a spanning forest with the Shiloach–Vishkin grafting
+// loop on p goroutine workers. Each iteration grafts roots onto
+// smaller-labeled neighbors — arbitrated by compare-and-swap so the
+// winning edge is recorded — then fully shortcuts, exactly as
+// concomp.SV does.
+func Parallel(g *graph.Graph, p int) *Forest {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	n := g.N
+	d := make([]int32, n)
+	span := make([]int32, n) // span[r] = edge that grafted root r away
+	for i := range d {
+		d[i] = int32(i)
+		span[i] = -1
+	}
+	f := &Forest{N: n}
+	if n == 0 {
+		f.Label = d
+		return f
+	}
+	limit := 64
+	for s := 1; s < n; s <<= 1 {
+		limit++
+	}
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			panic(fmt.Sprintf("spantree: failed to converge after %d iterations", iter))
+		}
+		var graft int32
+		par.For(len(g.Edges), p, func(_, lo, hi int) {
+			local := false
+			for k := lo; k < hi; k++ {
+				e := g.Edges[k]
+				for dir := 0; dir < 2; dir++ {
+					u, v := e.U, e.V
+					if dir == 1 {
+						u, v = v, u
+					}
+					du := atomic.LoadInt32(&d[u])
+					dv := atomic.LoadInt32(&d[v])
+					if du < dv && dv == atomic.LoadInt32(&d[dv]) {
+						// CAS arbitration: the stream that flips the
+						// root's parent owns the merge and records the
+						// edge.
+						if atomic.CompareAndSwapInt32(&d[dv], dv, du) {
+							atomic.StoreInt32(&span[dv], int32(k))
+							local = true
+						}
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt32(&graft, 1)
+			}
+		})
+		par.For(n, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				di := atomic.LoadInt32(&d[i])
+				for {
+					ddi := atomic.LoadInt32(&d[di])
+					if ddi == di {
+						break
+					}
+					di = ddi
+				}
+				atomic.StoreInt32(&d[i], di)
+			}
+		})
+		if atomic.LoadInt32(&graft) == 0 {
+			break
+		}
+	}
+	for r := 0; r < n; r++ {
+		if span[r] >= 0 {
+			f.TreeEdges = append(f.TreeEdges, span[r])
+		}
+	}
+	f.Label = d
+	return f
+}

@@ -1,0 +1,225 @@
+package spantree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/graph"
+)
+
+func assertForest(t *testing.T, g *graph.Graph, f *Forest) {
+	t.Helper()
+	if err := f.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialOnFixedTopologies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"chain":    graph.Chain(50),
+		"star":     graph.Star(50),
+		"mesh":     graph.Mesh2D(8, 9),
+		"torus":    graph.Torus2D(5, 6),
+		"isolated": {N: 10},
+		"complete": graph.RandomGnm(20, 190, 1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			assertForest(t, g, Sequential(g))
+		})
+	}
+}
+
+func TestParallelOnFixedTopologies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"chain":    graph.Chain(50),
+		"star":     graph.Star(50),
+		"mesh":     graph.Mesh2D(8, 9),
+		"isolated": {N: 10},
+		"complete": graph.RandomGnm(20, 190, 1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			assertForest(t, g, Parallel(g, 4))
+		})
+	}
+}
+
+func TestTreeEdgeCount(t *testing.T) {
+	// A connected graph's spanning tree has exactly n-1 edges.
+	g := graph.Mesh2D(16, 16)
+	for _, f := range []*Forest{Sequential(g), Parallel(g, 4)} {
+		if len(f.TreeEdges) != g.N-1 {
+			t.Fatalf("tree has %d edges, want %d", len(f.TreeEdges), g.N-1)
+		}
+		if f.Components() != 1 {
+			t.Fatalf("components = %d, want 1", f.Components())
+		}
+	}
+}
+
+func TestForestOnDisconnectedGraph(t *testing.T) {
+	g, truth := graph.KnownComponents(6, 25, 3)
+	f := Parallel(g, 4)
+	assertForest(t, g, f)
+	if f.Components() != 6 {
+		t.Fatalf("components = %d, want 6", f.Components())
+	}
+	if !graph.SameComponents(f.Label, truth) {
+		t.Fatal("forest labels disagree with ground truth")
+	}
+}
+
+func TestParallelProperty(t *testing.T) {
+	check := func(seed uint64, nn, mm uint16, pp uint8) bool {
+		n := int(nn)%300 + 2
+		maxM := n * (n - 1) / 2
+		m := int(mm) % (maxM + 1)
+		p := int(pp)%8 + 1
+		g := graph.RandomGnm(n, m, seed)
+		f := Parallel(g, p)
+		return f.Verify(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialProperty(t *testing.T) {
+	check := func(seed uint64, nn, mm uint16) bool {
+		n := int(nn)%300 + 2
+		maxM := n * (n - 1) / 2
+		m := int(mm) % (maxM + 1)
+		g := graph.RandomGnm(n, m, seed)
+		return Sequential(g).Verify(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelAndSequentialAgreeOnPartition(t *testing.T) {
+	g := graph.RandomGnm(1000, 1500, 9)
+	fs, fp := Sequential(g), Parallel(g, 4)
+	if !graph.SameComponents(fs.Label, fp.Label) {
+		t.Fatal("labelings disagree")
+	}
+	if len(fs.TreeEdges) != len(fp.TreeEdges) {
+		t.Fatalf("forest sizes differ: %d vs %d", len(fs.TreeEdges), len(fp.TreeEdges))
+	}
+}
+
+func TestVerifyRejectsCycle(t *testing.T) {
+	g := graph.Chain(4) // edges 0-1, 1-2, 2-3
+	f := &Forest{N: 4, TreeEdges: []int32{0, 1, 2, 0}}
+	if f.Verify(g) == nil {
+		t.Fatal("cyclic edge set accepted")
+	}
+}
+
+func TestVerifyRejectsWrongCount(t *testing.T) {
+	g := graph.Chain(4)
+	f := &Forest{N: 4, TreeEdges: []int32{0}} // too few: 3 trees for 1 component
+	if f.Verify(g) == nil {
+		t.Fatal("under-spanning forest accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &graph.Graph{N: 0}
+	if f := Parallel(g, 2); len(f.TreeEdges) != 0 {
+		t.Fatal("empty graph produced tree edges")
+	}
+}
+
+func BenchmarkParallel(b *testing.B) {
+	g := graph.RandomGnm(1<<15, 1<<17, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(g, 8)
+	}
+}
+
+func TestRootedOnMesh(t *testing.T) {
+	g := graph.Mesh2D(12, 13)
+	tr, err := Rooted(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent[0] != -1 || tr.Depth[0] != 0 || tr.Size[0] != int64(g.N) {
+		t.Fatalf("root fields wrong: parent=%d depth=%d size=%d", tr.Parent[0], tr.Depth[0], tr.Size[0])
+	}
+	// Every non-root vertex must have a parent one level shallower, and
+	// the parent edge must exist in the graph.
+	adj := map[[2]int32]bool{}
+	for _, e := range g.Edges {
+		adj[[2]int32{e.U, e.V}] = true
+		adj[[2]int32{e.V, e.U}] = true
+	}
+	for v := 1; v < g.N; v++ {
+		p := tr.Parent[v]
+		if p < 0 {
+			t.Fatalf("vertex %d has no parent in a connected graph", v)
+		}
+		if tr.Depth[v] != tr.Depth[p]+1 {
+			t.Fatalf("depth[%d]=%d but parent depth=%d", v, tr.Depth[v], tr.Depth[p])
+		}
+		if !adj[[2]int32{int32(v), p}] {
+			t.Fatalf("parent edge (%d,%d) not in the graph", v, p)
+		}
+	}
+}
+
+func TestRootedOnDisconnected(t *testing.T) {
+	g, truth := graph.KnownComponents(3, 30, 7)
+	root := 35 // inside component 1
+	tr, err := Rooted(g, root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inComp := 0
+	for v := 0; v < g.N; v++ {
+		same := truth[v] == truth[root]
+		if same {
+			inComp++
+			if v != root && tr.Parent[v] < 0 {
+				t.Fatalf("vertex %d in root's component lacks a parent", v)
+			}
+		} else if tr.Parent[v] != -1 || tr.Size[v] != 0 {
+			t.Fatalf("vertex %d outside the component got tree fields", v)
+		}
+	}
+	if tr.Size[root] != int64(inComp) {
+		t.Fatalf("root size = %d, want %d", tr.Size[root], inComp)
+	}
+}
+
+func TestRootedProperty(t *testing.T) {
+	check := func(seed uint64, nn uint16, rr uint16) bool {
+		n := int(nn)%200 + 2
+		m := 3 * n
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomGnm(n, m, seed)
+		root := int(rr) % n
+		tr, err := Rooted(g, root, 4)
+		if err != nil {
+			return false
+		}
+		// Depth consistency everywhere reachable.
+		for v := 0; v < n; v++ {
+			if p := tr.Parent[v]; p >= 0 && tr.Depth[v] != tr.Depth[p]+1 {
+				return false
+			}
+		}
+		return tr.Depth[root] == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootedBadRoot(t *testing.T) {
+	if _, err := Rooted(graph.Chain(5), 99, 2); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}

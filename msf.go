@@ -1,0 +1,23 @@
+package pargraph
+
+import "pargraph/internal/msf"
+
+// WeightedEdge is an undirected edge with an integer weight.
+type WeightedEdge struct {
+	U, V int32
+	W    int64
+}
+
+// MinimumSpanningForest computes a minimum spanning forest of the
+// weighted graph with parallel Borůvka on procs goroutine workers,
+// returning the indices (into edges) of the selected edges and their
+// total weight. Ties are broken by edge index, so the result is
+// deterministic.
+func MinimumSpanningForest(n int, edges []WeightedEdge, procs int) (treeEdges []int32, weight int64) {
+	g := &msf.WGraph{N: n, Edges: make([]msf.WEdge, len(edges))}
+	for i, e := range edges {
+		g.Edges[i] = msf.WEdge{U: e.U, V: e.V, W: e.W}
+	}
+	f := msf.Boruvka(g, procs)
+	return f.TreeEdges, f.Weight
+}

@@ -1,0 +1,78 @@
+package pargraph
+
+import (
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+)
+
+// Layout selects how list order maps to memory order, the independent
+// variable of the paper's Fig. 1.
+type Layout int
+
+const (
+	// Ordered places node i at array position i: sequential traversal.
+	Ordered Layout = iota
+	// Random scatters successive nodes across the array.
+	Random
+	// Clustered keeps cache-line-sized runs contiguous but shuffles the
+	// runs — the locality middle ground.
+	Clustered
+)
+
+func (l Layout) internal() list.Layout {
+	switch l {
+	case Ordered:
+		return list.Ordered
+	case Clustered:
+		return list.Clustered
+	default:
+		return list.Random
+	}
+}
+
+func (l Layout) String() string { return l.internal().String() }
+
+// List is a linked list in array representation: Succ[i] is the index
+// of node i's successor, with NilNext (-1) marking the tail.
+type List struct {
+	Succ []int64
+	Head int
+}
+
+// NilNext marks the tail's successor slot.
+const NilNext = -1
+
+// NewOrderedList builds an n-node list laid out in traversal order.
+func NewOrderedList(n int) List {
+	l := list.New(n, list.Ordered, 0)
+	return List{Succ: l.Succ, Head: l.Head}
+}
+
+// NewRandomList builds an n-node list whose nodes are scattered
+// uniformly at random, the paper's worst case for cache machines.
+func NewRandomList(n int, seed uint64) List {
+	l := list.New(n, list.Random, seed)
+	return List{Succ: l.Succ, Head: l.Head}
+}
+
+// RankList computes each node's rank — its distance from the head — with
+// the Helman–JáJá parallel algorithm on procs goroutines. The input is
+// not modified. Use RankListSequential for the serial baseline.
+func RankList(succ []int64, head, procs int) []int64 {
+	l := &list.List{Succ: succ, Head: head}
+	return listrank.HelmanJaja(l, procs)
+}
+
+// RankListSequential ranks the list by a single pointer-following walk,
+// the best sequential algorithm.
+func RankListSequential(succ []int64, head int) []int64 {
+	l := &list.List{Succ: succ, Head: head}
+	return listrank.Sequential(l)
+}
+
+// VerifyRanks checks that rank holds each node's distance from head,
+// returning a descriptive error at the first mismatch.
+func VerifyRanks(succ []int64, head int, rank []int64) error {
+	l := &list.List{Succ: succ, Head: head}
+	return l.VerifyRanks(rank)
+}

@@ -1,0 +1,237 @@
+package pargraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargraph/internal/list"
+	"pargraph/internal/treecon"
+)
+
+func TestRankListAgainstSequential(t *testing.T) {
+	l := NewRandomList(10000, 3)
+	want := RankListSequential(l.Succ, l.Head)
+	got := RankList(l.Succ, l.Head, 4)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("rank mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if err := VerifyRanks(l.Succ, l.Head, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedListRanks(t *testing.T) {
+	l := NewOrderedList(100)
+	ranks := RankList(l.Succ, l.Head, 2)
+	for i, r := range ranks {
+		if r != int64(i) {
+			t.Fatalf("ordered list rank[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestVerifyRanksRejects(t *testing.T) {
+	l := NewRandomList(50, 1)
+	ranks := RankList(l.Succ, l.Head, 2)
+	ranks[10]++
+	if VerifyRanks(l.Succ, l.Head, ranks) == nil {
+		t.Fatal("corrupt ranks accepted")
+	}
+}
+
+func TestComponentsAgainstSequential(t *testing.T) {
+	g := RandomGraph(2000, 3000, 5)
+	if !SameComponents(Components(g, 4), ComponentsSequential(g)) {
+		t.Fatal("parallel and sequential labelings disagree")
+	}
+}
+
+func TestComponentsProperty(t *testing.T) {
+	check := func(seed uint64, nn, mm uint16) bool {
+		n := int(nn)%500 + 2
+		maxM := n * (n - 1) / 2
+		m := int(mm) % (maxM + 1)
+		g := RandomGraph(n, m, seed)
+		return SameComponents(Components(g, 4), ComponentsSequential(g))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyBuilders(t *testing.T) {
+	if g := MeshGraph(4, 5); g.N != 20 || CountComponents(Components(g, 2)) != 1 {
+		t.Fatal("mesh malformed")
+	}
+	if g := Mesh3DGraph(2, 3, 4); g.N != 24 || CountComponents(Components(g, 2)) != 1 {
+		t.Fatal("3-D mesh malformed")
+	}
+	if g := TorusGraph(4, 4); g.N != 16 || CountComponents(Components(g, 2)) != 1 {
+		t.Fatal("torus malformed")
+	}
+}
+
+func TestCountComponents(t *testing.T) {
+	g := RandomGraph(100, 0, 1) // no edges: every vertex its own component
+	if c := CountComponents(Components(g, 2)); c != 100 {
+		t.Fatalf("got %d components, want 100", c)
+	}
+}
+
+func TestSimulateListRankBothMachines(t *testing.T) {
+	for _, machine := range []Machine{MTA, SMP} {
+		for _, layout := range []Layout{Ordered, Random} {
+			res := SimulateListRank(machine, 1<<14, layout, 4, 9)
+			if !res.Verified || res.Seconds <= 0 || res.Cycles <= 0 {
+				t.Fatalf("%v/%v: bad result %+v", machine, layout, res)
+			}
+		}
+	}
+}
+
+func TestSimulateComponentsBothMachines(t *testing.T) {
+	g := RandomGraph(1<<12, 4<<12, 2)
+	for _, machine := range []Machine{MTA, SMP} {
+		res := SimulateComponents(machine, g, 4)
+		if !res.Verified || res.Seconds <= 0 {
+			t.Fatalf("%v: bad result %+v", machine, res)
+		}
+	}
+}
+
+// TestPaperHeadline is the whole paper in one assertion: on a random
+// list, the simulated MTA beats the simulated SMP by a large factor,
+// and the MTA is insensitive to layout while the SMP is not.
+func TestPaperHeadline(t *testing.T) {
+	const n = 1 << 17
+	mtaR := SimulateListRank(MTA, n, Random, 8, 1)
+	mtaO := SimulateListRank(MTA, n, Ordered, 8, 1)
+	smpR := SimulateListRank(SMP, n, Random, 8, 1)
+	smpO := SimulateListRank(SMP, n, Ordered, 8, 1)
+
+	if adv := smpR.Seconds / mtaR.Seconds; adv < 5 {
+		t.Errorf("MTA advantage on random lists = %.1fx, want >= 5x", adv)
+	}
+	if gap := mtaR.Seconds / mtaO.Seconds; gap > 1.2 {
+		t.Errorf("MTA layout sensitivity = %.2f, want ~1", gap)
+	}
+	if gap := smpR.Seconds / smpO.Seconds; gap < 2 {
+		t.Errorf("SMP layout sensitivity = %.2f, want >= 2", gap)
+	}
+	if mtaR.Utilization < 0.85 {
+		t.Errorf("MTA utilization = %.2f, want >= 0.85", mtaR.Utilization)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MTA.String() != "MTA" || SMP.String() != "SMP" {
+		t.Fatal("machine names wrong")
+	}
+	if Ordered.String() != "Ordered" || Random.String() != "Random" {
+		t.Fatal("layout names wrong")
+	}
+}
+
+func TestSpanningForest(t *testing.T) {
+	g := MeshGraph(20, 20)
+	edges, labels := SpanningForest(g, 4)
+	if len(edges) != g.N-1 {
+		t.Fatalf("spanning tree has %d edges, want %d", len(edges), g.N-1)
+	}
+	if CountComponents(labels) != 1 {
+		t.Fatal("mesh should be one component")
+	}
+	// Tree edges must be valid indices and acyclic (checked by size +
+	// connectivity: n-1 edges connecting one component is a tree).
+	for _, ei := range edges {
+		if ei < 0 || int(ei) >= len(g.Edges) {
+			t.Fatalf("edge index %d out of range", ei)
+		}
+	}
+}
+
+func TestSpanningForestDisconnected(t *testing.T) {
+	g := RandomGraph(500, 100, 3) // very sparse: many components
+	edges, labels := SpanningForest(g, 4)
+	if got, want := len(edges), g.N-CountComponents(labels); got != want {
+		t.Fatalf("forest has %d edges, want %d", got, want)
+	}
+}
+
+func TestEvalExpressionMatchesSequential(t *testing.T) {
+	e := RandomExpression(2000, 11)
+	if EvalExpression(e, 4) != EvalExpressionSequential(e) {
+		t.Fatal("evaluators disagree")
+	}
+}
+
+func TestEvalExpressionTiny(t *testing.T) {
+	// 2*(3+4) = 14 built by hand.
+	e := Expression{
+		Root:  0,
+		Op:    []ExprOp{ExprMul, ExprLeaf, ExprAdd, ExprLeaf, ExprLeaf},
+		Left:  []int32{1, -1, 3, -1, -1},
+		Right: []int32{2, -1, 4, -1, -1},
+		Val:   []int64{0, 2, 0, 3, 4},
+	}
+	if got := EvalExpression(e, 2); got != 14 {
+		t.Fatalf("got %d, want 14", got)
+	}
+}
+
+func TestScaleFreeGraphComponents(t *testing.T) {
+	g := ScaleFreeGraph(12, 20000, 5)
+	if g.N != 4096 || len(g.Edges) != 20000 {
+		t.Fatalf("bad shape: n=%d m=%d", g.N, len(g.Edges))
+	}
+	if !SameComponents(Components(g, 4), ComponentsSequential(g)) {
+		t.Fatal("labelings disagree on scale-free graph")
+	}
+}
+
+func TestMinimumSpanningForest(t *testing.T) {
+	// A square with a heavy diagonal: the MSF must skip the diagonal.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, W: 1},
+		{U: 1, V: 2, W: 2},
+		{U: 2, V: 3, W: 3},
+		{U: 3, V: 0, W: 4},
+		{U: 0, V: 2, W: 100},
+	}
+	tree, w := MinimumSpanningForest(4, edges, 2)
+	if len(tree) != 3 || w != 6 {
+		t.Fatalf("got %d edges weight %d, want 3 edges weight 6", len(tree), w)
+	}
+	for _, ei := range tree {
+		if ei == 4 {
+			t.Fatal("MSF used the heavy diagonal")
+		}
+	}
+}
+
+func TestRootedSpanningTree(t *testing.T) {
+	g := MeshGraph(10, 10)
+	tree, err := RootedSpanningTree(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size[0] != 100 || tree.Depth[0] != 0 {
+		t.Fatalf("root fields wrong: %+v", tree)
+	}
+	for v := 1; v < 100; v++ {
+		if tree.Parent[v] < 0 {
+			t.Fatalf("vertex %d unparented", v)
+		}
+	}
+}
+
+func TestExportedConstantsMatchInternals(t *testing.T) {
+	if ExprModulus != treecon.Mod {
+		t.Fatalf("ExprModulus %d drifted from treecon.Mod %d", ExprModulus, treecon.Mod)
+	}
+	if NilNext != list.NilNext {
+		t.Fatalf("NilNext %d drifted from list.NilNext %d", NilNext, list.NilNext)
+	}
+}
