@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench-simulators verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the simulator packages and the kernels that replay on them.
+race:
+	$(GO) test -race ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate BENCH_simulators.json (host ns/op for the simulator engines
+# and the SetHostWorkers scaling sweep).
+bench-simulators:
+	sh scripts/bench_simulators.sh
+
+verify: vet build test

@@ -7,6 +7,8 @@ package pargraph
 // the host time; EXPERIMENTS.md records the shapes.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"pargraph/internal/concomp"
@@ -224,6 +226,41 @@ func BenchmarkSimulatorSMP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := smp.New(smp.DefaultConfig(benchProcs))
 		listrank.RankSMP(l, m, 8*benchProcs, 2)
+	}
+}
+
+// BenchmarkHostScaling sweeps the host worker count over the two
+// simulator engines on a body-heavy workload (a 2^20-node random list:
+// the walk regions dominate and shard well). scripts/bench_simulators.sh
+// turns the output into BENCH_simulators.json.
+func BenchmarkHostScaling(b *testing.B) {
+	const n = 1 << 20
+	l := list.New(n, list.Random, 1)
+	workers := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 {
+		workers = append(workers, ncpu)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("MTA/workers=%d", w), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				m := mta.New(mta.DefaultConfig(benchProcs))
+				m.SetHostWorkers(w)
+				listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+				cycles = m.Cycles()
+			}
+			b.ReportMetric(cycles, "sim_cycles")
+		})
+		b.Run(fmt.Sprintf("SMP/workers=%d", w), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				m := smp.New(smp.DefaultConfig(benchProcs))
+				m.SetHostWorkers(w)
+				listrank.RankSMP(l, m, 8*benchProcs, 2)
+				cycles = m.Cycles()
+			}
+			b.ReportMetric(cycles, "sim_cycles")
+		})
 	}
 }
 

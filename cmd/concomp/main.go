@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"pargraph/internal/concomp"
@@ -63,8 +64,12 @@ func main() {
 		verify  = flag.Bool("verify", true, "cross-check against union-find")
 		inFile  = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
 		outFile = flag.String("out", "", "also write the graph to a DIMACS `p edge` file")
+		workers = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	var g *graph.Graph
 	if *inFile != "" {
@@ -98,6 +103,7 @@ func main() {
 	switch *machine {
 	case "mta", "mta-star":
 		mm := mta.New(mta.DefaultConfig(*procs))
+		mm.SetHostWorkers(*workers)
 		if *machine == "mta" {
 			labels = concomp.LabelMTA(g, mm, sim.SchedDynamic)
 		} else {
@@ -110,6 +116,7 @@ func main() {
 			mm.Utilization()*100, st.Refs, st.Regions, st.Barriers)
 	case "smp":
 		sm := smp.New(smp.DefaultConfig(*procs))
+		sm.SetHostWorkers(*workers)
 		labels = concomp.LabelSMP(g, sm)
 		st := sm.Stats()
 		total := st.L1Hits + st.L2Hits + st.Misses

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"pargraph/internal/harness"
 )
@@ -38,8 +39,14 @@ func main() {
 		scaleS   = flag.String("scale", "small", "problem scale: small, medium, or paper")
 		jsonFlag = flag.Bool("json", false, "emit results as JSON instead of tables")
 		csvFlag  = flag.Bool("csv", false, "emit figure/table results as CSV instead of tables")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
+
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+	harness.HostWorkers = *workers
 
 	scale, err := harness.ParseScale(*scaleS)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"pargraph/internal/list"
@@ -37,8 +38,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		verify  = flag.Bool("verify", true, "cross-check ranks against the sequential walk")
 		trace   = flag.Bool("trace", false, "print a per-region execution trace (simulated machines)")
+		workers = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	var lay list.Layout
 	switch *layout {
@@ -63,6 +68,7 @@ func main() {
 			log.Fatalf("unknown schedule %q", *sched)
 		}
 		m := mta.New(mta.DefaultConfig(*procs))
+		m.SetHostWorkers(*workers)
 		if *trace {
 			m.EnableTrace()
 		}
@@ -77,6 +83,7 @@ func main() {
 		}
 	case "smp":
 		m := smp.New(smp.DefaultConfig(*procs))
+		m.SetHostWorkers(*workers)
 		if *trace {
 			m.EnableTrace()
 		}

@@ -45,7 +45,9 @@ func LabelMTA(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 {
 
 		// Graft loop over directed edges (i < 2m in Alg. 3). Reads of
 		// E[i] overlap; D[v] then D[D[v]] are a dependent chain.
-		m.ParallelFor(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
+		// Iterations communicate through d[] (and the graft flag), so
+		// replay stays ordered under any host worker count.
+		m.ParallelForOrdered(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
 			e := g.Edges[k/2]
 			u, v := e.U, e.V
 			if k&1 == 1 {
@@ -65,8 +67,10 @@ func LabelMTA(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 {
 		})
 		m.Barrier()
 
-		// Full shortcut: while (D[i] != D[D[i]]) D[i] = D[D[i]].
-		m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		// Full shortcut: while (D[i] != D[D[i]]) D[i] = D[D[i]]. The
+		// pointer chase reads entries other iterations rewrite, so it is
+		// ordered too.
+		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
 			t.LoadDep(mtaDBase + uint64(i))
 			di := d[i]
 			t.Instr(1)

@@ -43,7 +43,10 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 		changed := false
 
 		// Step 1: conditional grafting of roots onto smaller labels.
-		m.ParallelFor(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
+		// Grafts, star passes, hooks, and the shortcut all communicate
+		// through d[]/star[], so those regions replay ordered; only the
+		// disjoint star reset shards across host workers.
+		m.ParallelForOrdered(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
 			e := g.Edges[k/2]
 			u, v := e.U, e.V
 			if k&1 == 1 {
@@ -70,7 +73,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 			star[i] = true
 		})
 		m.Barrier()
-		m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
 			t.LoadDep(mtaDBase + uint64(i))
 			t.LoadDep(mtaDBase + uint64(d[i]))
 			t.Instr(2)
@@ -82,7 +85,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 			}
 		})
 		m.Barrier()
-		m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
 			t.LoadDep(mtaDBase + uint64(i))
 			t.LoadDep(mtaStarBase + uint64(d[i]))
 			t.Instr(1)
@@ -94,7 +97,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 		m.Barrier()
 
 		// Step 2: hook vertices still in stars onto smaller neighbors.
-		m.ParallelFor(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
+		m.ParallelForOrdered(2*len(g.Edges), sched, func(k int, t *mta.Thread) {
 			e := g.Edges[k/2]
 			u, v := e.U, e.V
 			if k&1 == 1 {
@@ -118,7 +121,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 		m.Barrier()
 
 		// Step 3: a single pointer-jump shortcut.
-		m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
 			t.LoadDep(mtaDBase + uint64(i))
 			t.LoadDep(mtaDBase + uint64(d[i]))
 			t.Instr(1)

@@ -48,7 +48,10 @@ func LabelSMP(g *graph.Graph, m *smp.Machine) []int32 {
 		graft := false
 
 		// Graft phase: directed edges partitioned across processors.
-		m.Phase(func(p *smp.Proc) {
+		// Processors communicate through d[] (and the graft flag) within
+		// the phase, so both SV phases replay ordered under any host
+		// worker count.
+		m.PhaseOrdered(func(p *smp.Proc) {
 			lo, hi := p.ID()*dirEdges/procs, (p.ID()+1)*dirEdges/procs
 			for k := lo; k < hi; k++ {
 				e := g.Edges[k/2]
@@ -72,7 +75,7 @@ func LabelSMP(g *graph.Graph, m *smp.Machine) []int32 {
 		m.Barrier()
 
 		// Shortcut phase: vertices partitioned across processors.
-		m.Phase(func(p *smp.Proc) {
+		m.PhaseOrdered(func(p *smp.Proc) {
 			lo, hi := p.ID()*n/procs, (p.ID()+1)*n/procs
 			for i := lo; i < hi; i++ {
 				p.Load(addr(dA, int32(i)))

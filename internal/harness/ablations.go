@@ -66,7 +66,7 @@ func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 			name string
 			s    sim.Sched
 		}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}} {
-			m := mta.New(cfg)
+			m := newMTA(cfg)
 			listrank.RankMTA(l, m, g.nwalk, sched.s)
 			res.Rows = append(res.Rows, AblationRow{
 				Config:  g.name + ", " + sched.name,
@@ -87,7 +87,7 @@ func RunAblHashing(refs, procs int) *AblationResult {
 	for _, hashed := range []bool{true, false} {
 		cfg := mta.DefaultConfig(procs)
 		cfg.HashMemory = hashed
-		m := mta.New(cfg)
+		m := newMTA(cfg)
 		stride := uint64(cfg.Banks) // worst case: every ref to one bank
 		m.ParallelFor(refs/8, sim.SchedDynamic, func(i int, t *mta.Thread) {
 			for k := 0; k < 8; k++ {
@@ -117,7 +117,7 @@ func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
 	l := list.New(n, list.Random, seed)
 	for _, f := range factors {
 		s := f * procs
-		m := smp.New(smp.DefaultConfig(procs))
+		m := newSMP(smp.DefaultConfig(procs))
 		listrank.RankSMP(l, m, s, seed^uint64(s))
 		extra := ""
 		if f == 8 {
@@ -140,7 +140,7 @@ func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 	g := graph.RandomGnm(n, edgeFactor*n, seed)
 	want := concomp.UnionFind(g)
 
-	m1 := mta.New(mta.DefaultConfig(procs))
+	m1 := newMTA(mta.DefaultConfig(procs))
 	got := concomp.LabelMTA(g, m1, sim.SchedDynamic)
 	if !graph.SameComponents(want, got) {
 		panic("harness: A4 full-shortcut labeling is wrong")
@@ -151,7 +151,7 @@ func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 		Extra:   fmt.Sprintf("%d regions", m1.Stats().Regions),
 	})
 
-	m2 := mta.New(mta.DefaultConfig(procs))
+	m2 := newMTA(mta.DefaultConfig(procs))
 	got = concomp.LabelMTAStarCheck(g, m2, sim.SchedDynamic)
 	if !graph.SameComponents(want, got) {
 		panic("harness: A4 star-check labeling is wrong")
@@ -175,7 +175,7 @@ func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
 			l := list.New(n, layout, seed)
 			cfg := smp.DefaultConfig(procs)
 			cfg.L2Bytes = mb << 20
-			m := smp.New(cfg)
+			m := newSMP(cfg)
 			listrank.RankSMP(l, m, 8*procs, seed^uint64(mb))
 			secs[li] = m.Seconds()
 		}
@@ -198,7 +198,7 @@ func RunAblAssociativity(n, procs int, assocs []int, seed uint64) *AblationResul
 		cfg := smp.DefaultConfig(procs)
 		cfg.L1Assoc = a
 		cfg.L2Assoc = a
-		m := smp.New(cfg)
+		m := newSMP(cfg)
 		listrank.RankSMP(l, m, 8*procs, seed^uint64(a))
 		extra := ""
 		if a == 1 {
@@ -223,7 +223,7 @@ func RunAblReduction(n, procs int) *AblationResult {
 	const valsBase = uint64(9) << 40
 	const counter = uint64(10) << 40
 
-	mHot := mta.New(mta.DefaultConfig(procs))
+	mHot := newMTA(mta.DefaultConfig(procs))
 	mHot.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
 		t.Load(valsBase + uint64(i))
 		t.FetchAdd(counter)
@@ -234,7 +234,7 @@ func RunAblReduction(n, procs int) *AblationResult {
 		Extra:   fmt.Sprintf("bank-stall cycles %.0f", mHot.Stats().BankStalls),
 	})
 
-	mTree := mta.New(mta.DefaultConfig(procs))
+	mTree := newMTA(mta.DefaultConfig(procs))
 	mTree.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
 		t.Load(valsBase + uint64(i))
 		t.Instr(1) // accumulate into a stream-local register

@@ -142,7 +142,7 @@ func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
 		for _, k := range perProc {
 			n := k * p
 			l := list.New(n, list.Random, seed+uint64(n))
-			m := mta.New(mta.DefaultConfig(p))
+			m := newMTA(mta.DefaultConfig(p))
 			listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
 			res.Rows = append(res.Rows, SaturationRow{Procs: p, N: n, Utilization: m.Utilization()})
 		}
@@ -184,7 +184,7 @@ func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
 	for _, s := range streams {
 		cfg := mta.DefaultConfig(procs)
 		cfg.UseStreams = s
-		m := mta.New(cfg)
+		m := newMTA(cfg)
 		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
 		res.Rows = append(res.Rows, StreamsRow{Streams: s, Seconds: m.Seconds(), Utilization: m.Utilization()})
 	}
@@ -226,11 +226,11 @@ func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) 
 	for _, nl := range leaves {
 		e := treecon.RandomExpr(nl, seed+uint64(nl))
 		want := treecon.EvalSequential(e)
-		mm := mta.New(mta.DefaultConfig(procs))
+		mm := newMTA(mta.DefaultConfig(procs))
 		if got := treecon.EvalMTA(e, mm, sim.SchedDynamic); got != want {
 			return nil, fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
 		}
-		sm := smp.New(smp.DefaultConfig(procs))
+		sm := newSMP(smp.DefaultConfig(procs))
 		if got := treecon.EvalSMP(e, sm, seed^uint64(nl)); got != want {
 			return nil, fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
 		}

@@ -62,7 +62,7 @@ func RunFig1(params Fig1Params) (*Fig1Result, error) {
 			for _, n := range params.Sizes {
 				l := list.New(n, layout, params.Seed+uint64(n))
 
-				mm := mta.New(mta.DefaultConfig(procs))
+				mm := newMTA(mta.DefaultConfig(procs))
 				rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
 				if params.Verify {
 					if err := l.VerifyRanks(rank); err != nil {
@@ -71,7 +71,7 @@ func RunFig1(params Fig1Params) (*Fig1Result, error) {
 				}
 				mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(n), Seconds: mm.Seconds()})
 
-				sm := smp.New(smp.DefaultConfig(procs))
+				sm := newSMP(smp.DefaultConfig(procs))
 				rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
 				if params.Verify {
 					if err := l.VerifyRanks(rank); err != nil {

@@ -64,14 +64,14 @@ func RunFig2(params Fig2Params) (*Fig2Result, error) {
 				want = concomp.UnionFind(g)
 			}
 
-			mm := mta.New(mta.DefaultConfig(procs))
+			mm := newMTA(mta.DefaultConfig(procs))
 			got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
 			if params.Verify && !graph.SameComponents(want, got) {
 				return nil, fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
 			}
 			mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(m), Seconds: mm.Seconds()})
 
-			sm := smp.New(smp.DefaultConfig(procs))
+			sm := newSMP(smp.DefaultConfig(procs))
 			got = concomp.LabelSMP(g, sm)
 			if params.Verify && !graph.SameComponents(want, got) {
 				return nil, fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// TestHostWorkersDeterminism asserts the tentpole invariant on the
+// paper's own kernels: simulated Cycles, Issued, and the full Stats
+// struct are bit-identical for SetHostWorkers(1) and SetHostWorkers(8)
+// across the Fig. 1 (list ranking) and Fig. 2 (connected components)
+// kernels, on ordered and random workloads, for both machine models.
+func TestHostWorkersDeterminism(t *testing.T) {
+	const (
+		listN  = 30000 // large enough that the walk regions shard
+		graphN = 4096
+		graphM = 16384
+	)
+
+	for _, layout := range []list.Layout{list.Ordered, list.Random} {
+		l := list.New(listN, layout, 0x11)
+
+		runMTA := func(w int) (mta.Stats, []int64) {
+			m := mta.New(mta.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			rank := listrank.RankMTA(l, m, listN/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+			return m.Stats(), rank
+		}
+		wantS, wantR := runMTA(1)
+		gotS, gotR := runMTA(8)
+		if gotS != wantS {
+			t.Errorf("RankMTA %v: stats diverge at 8 workers:\n got %+v\nwant %+v", layout, gotS, wantS)
+		}
+		assertSameRanks(t, fmt.Sprintf("RankMTA %v", layout), wantR, gotR)
+
+		runSMP := func(w int) (smp.Stats, []int64) {
+			m := smp.New(smp.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			rank := listrank.RankSMP(l, m, 64, 0x11)
+			return m.Stats(), rank
+		}
+		wantS2, wantR2 := runSMP(1)
+		gotS2, gotR2 := runSMP(8)
+		if gotS2 != wantS2 {
+			t.Errorf("RankSMP %v: stats diverge at 8 workers:\n got %+v\nwant %+v", layout, gotS2, wantS2)
+		}
+		assertSameRanks(t, fmt.Sprintf("RankSMP %v", layout), wantR2, gotR2)
+	}
+
+	// Fig. 2 kernels on a random graph and a mesh (the "ordered" layout
+	// analogue for graphs).
+	for name, g := range map[string]*graph.Graph{
+		"gnm":  graph.RandomGnm(graphN, graphM, 0x22),
+		"mesh": graph.Mesh2D(64, 64),
+	} {
+		runMTA := func(w int) mta.Stats {
+			m := mta.New(mta.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			concomp.LabelMTA(g, m, sim.SchedDynamic)
+			return m.Stats()
+		}
+		if want, got := runMTA(1), runMTA(8); got != want {
+			t.Errorf("LabelMTA %s: stats diverge at 8 workers:\n got %+v\nwant %+v", name, got, want)
+		}
+		runSMP := func(w int) smp.Stats {
+			m := smp.New(smp.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			concomp.LabelSMP(g, m)
+			return m.Stats()
+		}
+		if want, got := runSMP(1), runSMP(8); got != want {
+			t.Errorf("LabelSMP %s: stats diverge at 8 workers:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestHostWorkersDeterminismAggregatePath repeats the list-ranking check
+// above a region size past the exact-simulation cutoff, so the
+// chunk-ordered floating-point merge of the aggregate path is exercised
+// end to end.
+func TestHostWorkersDeterminismAggregatePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate-path determinism sweep skipped in -short mode")
+	}
+	const n = 150000 // > the machines' 1<<17 exact cutoff
+	l := list.New(n, list.Random, 0x33)
+	run := func(w int) mta.Stats {
+		m := mta.New(mta.DefaultConfig(8))
+		m.SetHostWorkers(w)
+		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+		return m.Stats()
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != want {
+			t.Errorf("workers=%d: aggregate-path stats diverge:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+}
+
+// TestHostWorkersRaceClean runs fused MTA and SMP kernels with more than
+// one host worker and verifies their outputs; under `go test -race` it
+// doubles as the data-race check for the sharded replay engine.
+func TestHostWorkersRaceClean(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+
+	const n = 20000
+	l := list.New(n, list.Random, 0x44)
+	mm := mta.New(mta.DefaultConfig(4))
+	mm.SetHostWorkers(workers)
+	if err := l.VerifyRanks(listrank.RankMTA(l, mm, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)); err != nil {
+		t.Errorf("RankMTA with %d workers: %v", workers, err)
+	}
+	mm.Reset()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i%7 + 1)
+	}
+	listrank.PrefixMTA(l, vals, mm, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+
+	sm := smp.New(smp.DefaultConfig(4))
+	sm.SetHostWorkers(workers)
+	if err := l.VerifyRanks(listrank.RankSMP(l, sm, 32, 0x44)); err != nil {
+		t.Errorf("RankSMP with %d workers: %v", workers, err)
+	}
+
+	g := graph.RandomGnm(4096, 16384, 0x55)
+	want := concomp.UnionFind(g)
+	mm2 := mta.New(mta.DefaultConfig(4))
+	mm2.SetHostWorkers(workers)
+	if !graph.SameComponents(want, concomp.LabelMTA(g, mm2, sim.SchedDynamic)) {
+		t.Errorf("LabelMTA with %d workers: wrong components", workers)
+	}
+	sm2 := smp.New(smp.DefaultConfig(4))
+	sm2.SetHostWorkers(workers)
+	if !graph.SameComponents(want, concomp.LabelSMP(g, sm2)) {
+		t.Errorf("LabelSMP with %d workers: wrong components", workers)
+	}
+}
+
+func assertSameRanks(t *testing.T, name string, want, got []int64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: rank length %d vs %d", name, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: ranks diverge at %d: %d vs %d", name, i, got[i], want[i])
+			return
+		}
+	}
+}

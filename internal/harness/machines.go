@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"pargraph/internal/mta"
+	"pargraph/internal/smp"
+)
+
+// HostWorkers is the number of host goroutines every machine the harness
+// constructs uses to replay data-parallel regions (see
+// mta.Machine.SetHostWorkers). The default 1 replays serially; any value
+// produces identical simulated results. Set it once before running
+// experiments — cmd/figures wires its -workers flag here.
+var HostWorkers = 1
+
+// newMTA constructs an MTA machine with the harness host-worker setting.
+func newMTA(cfg mta.Config) *mta.Machine {
+	m := mta.New(cfg)
+	m.SetHostWorkers(HostWorkers)
+	return m
+}
+
+// newSMP constructs an SMP machine with the harness host-worker setting.
+func newSMP(cfg smp.Config) *smp.Machine {
+	m := smp.New(cfg)
+	m.SetHostWorkers(HostWorkers)
+	return m
+}

@@ -71,7 +71,7 @@ func RunTable1(params Table1Params) *Table1Result {
 	for _, layout := range []list.Layout{list.Random, list.Ordered} {
 		l := list.New(params.ListN, layout, params.Seed)
 		for _, procs := range params.Procs {
-			m := mta.New(mta.DefaultConfig(procs))
+			m := newMTA(mta.DefaultConfig(procs))
 			listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
 			u := m.Utilization()
 			if layout == list.Random {
@@ -85,7 +85,7 @@ func RunTable1(params Table1Params) *Table1Result {
 	rowCC := Table1Row{Workload: "Connected Components"}
 	g := graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1)
 	for _, procs := range params.Procs {
-		m := mta.New(mta.DefaultConfig(procs))
+		m := newMTA(mta.DefaultConfig(procs))
 		concomp.LabelMTA(g, m, sim.SchedDynamic)
 		rowCC.Utilization = append(rowCC.Utilization, m.Utilization())
 	}

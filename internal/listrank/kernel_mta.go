@@ -123,7 +123,16 @@ func RankMTA(l *list.List, m *mta.Machine, nwalk int, sched sim.Sched) []int64 {
 			panic("listrank: walk chain does not terminate (cyclic list)")
 		}
 		rounds++
+		// Any live hop means this round still jumps; hoisted out of the
+		// region body so iterations stay write-disjoint under sharded
+		// host replay.
 		jumping := false
+		for _, h := range hop {
+			if h >= 0 {
+				jumping = true
+				break
+			}
+		}
 		m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
 			t.Instr(2)
 			if h := hop[i]; h >= 0 {
@@ -132,7 +141,6 @@ func RankMTA(l *list.List, m *mta.Machine, nwalk int, sched sim.Sched) []int64 {
 				t.Store(mtaWalkBase + uint64(4*nw+i))
 				suffixNew[i] = suffix[i] + suffix[h]
 				hopNew[i] = hop[h]
-				jumping = true
 			} else {
 				suffixNew[i] = suffix[i]
 				hopNew[i] = -1

@@ -109,7 +109,15 @@ func PrefixMTA(l *list.List, vals []int64, m *mta.Machine, nwalk int, sched sim.
 			panic("listrank: walk chain does not terminate (cyclic list)")
 		}
 		rounds++
+		// Hoisted out of the region body (see RankMTA) so iterations stay
+		// write-disjoint under sharded host replay.
 		jumping := false
+		for _, h := range hop {
+			if h >= 0 {
+				jumping = true
+				break
+			}
+		}
 		m.ParallelFor(nw, sched, func(i int, t *mta.Thread) {
 			t.Instr(2)
 			if h := hop[i]; h >= 0 {
@@ -118,7 +126,6 @@ func PrefixMTA(l *list.List, vals []int64, m *mta.Machine, nwalk int, sched sim.
 				t.Store(mtaWalkBase + uint64(4*nw+i))
 				suffixNew[i] = suffix[i] + suffix[h]
 				hopNew[i] = hop[h]
-				jumping = true
 			} else {
 				suffixNew[i] = suffix[i]
 				hopNew[i] = -1

@@ -19,7 +19,8 @@ func walkTrace(nodes, instr int) TraceItem {
 
 // fluidItem is the fast-model equivalent of the same walk.
 func fluidItem(nodes, instr int, cfg Config) sim.Item {
-	t := Thread{m: New(cfg)}
+	m := New(cfg)
+	t := Thread{m: m, tl: m.region}
 	for i := 0; i < nodes; i++ {
 		t.Instr(instr)
 		t.LoadDep(uint64(i))
@@ -143,6 +144,7 @@ func TestCycleSimOverlappableRefs(t *testing.T) {
 	exact := CycleSim([]TraceItem{tr}, 100, int64(cfg.MemLatency), cfg.Lookahead, 0.25)
 	var th Thread
 	th.m = New(cfg)
+	th.tl = th.m.region
 	for i := 0; i < 16; i++ {
 		th.Load(uint64(i))
 	}

@@ -17,11 +17,25 @@
 // Machine constants default to the MTA-2 values published in the paper:
 // 220 MHz clock, 128 streams per processor, roughly 100-cycle memory
 // latency, and up to 8 outstanding memory references per stream.
+//
+// # Host parallelism
+//
+// The replay itself can use several host goroutines: SetHostWorkers(w)
+// makes ParallelFor shard [0, n) into fixed-size chunks that workers
+// claim dynamically, each charging into a private tally that is merged
+// deterministically at region end. Simulated Cycles, Issued, and Stats
+// are identical for every worker count; only host wall time changes.
+// Region bodies must then be safe to run concurrently for distinct i —
+// true for data-parallel loops (disjoint writes, shared reads); loops
+// whose iterations communicate through shared memory must use
+// ParallelForOrdered, which always replays serially.
 package mta
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"pargraph/internal/par"
 	"pargraph/internal/sim"
 )
 
@@ -98,19 +112,75 @@ type Stats struct {
 	BankStalls  float64 // cycles regions were stretched by bank conflicts
 }
 
-// Machine is a simulated MTA. It is not safe for concurrent use: kernels
-// execute their simulated threads natively one at a time, which keeps the
-// simulation deterministic.
+// tally is one replay worker's region-scoped accounting: everything a
+// kernel body charges that is additive across iterations. Each host
+// worker charges a private tally; merging them (integer adds and
+// elementwise vector adds) is order-independent, which is what keeps the
+// simulated results identical for any worker count.
+type tally struct {
+	refs      int64
+	instrs    int64
+	fetchAdds int64
+	syncOps   int64
+	ctrGrabs  int64 // grabs of the shared dynamic-schedule counter
+	bankRefs  []int64
+	hotWords  map[uint64]int64
+}
+
+func newTally(banks int) *tally {
+	return &tally{bankRefs: make([]int64, banks), hotWords: make(map[uint64]int64)}
+}
+
+// reset zeroes the tally in place; the bank vector and hot-word map are
+// reused across regions instead of being reallocated.
+func (a *tally) reset() {
+	a.refs, a.instrs, a.fetchAdds, a.syncOps, a.ctrGrabs = 0, 0, 0, 0, 0
+	for i := range a.bankRefs {
+		a.bankRefs[i] = 0
+	}
+	clear(a.hotWords)
+}
+
+// merge folds b into a. All fields are counts, so the result does not
+// depend on merge order.
+func (a *tally) merge(b *tally) {
+	a.refs += b.refs
+	a.instrs += b.instrs
+	a.fetchAdds += b.fetchAdds
+	a.syncOps += b.syncOps
+	a.ctrGrabs += b.ctrGrabs
+	for i, c := range b.bankRefs {
+		a.bankRefs[i] += c
+	}
+	for w, c := range b.hotWords {
+		a.hotWords[w] += c
+	}
+}
+
+// Machine is a simulated MTA. The simulated timing is deterministic; with
+// SetHostWorkers(w > 1) the replay of data-parallel regions is sharded
+// across host goroutines, but a Machine still serves one kernel at a
+// time — it is not safe for concurrent use by multiple kernels.
 type Machine struct {
 	cfg   Config
 	stats Stats
 
-	// Per-region scratch, reset by ParallelFor/Serial.
-	bankRefs       []int64
-	hotWords       map[uint64]int64
-	regionCtrGrabs int64
-	maxExact       int
-	items          []sim.Item
+	hostWorkers int
+
+	// Per-region scratch, reset by ParallelFor/Serial. region is the
+	// merged accounting for the current region; wtallies are the pooled
+	// per-worker tallies used by sharded replay.
+	region   *tally
+	wtallies []*tally
+	maxExact int
+	items    []sim.Item
+
+	// Pooled per-chunk partial sums for the aggregate (n > maxExact)
+	// path. Summing chunk partials in chunk-index order makes the
+	// floating-point totals independent of the worker count.
+	chunkIssue []float64
+	chunkCrit  []float64
+	chunkMax   []float64
 
 	tracing bool
 	trace   []RegionStat
@@ -119,6 +189,16 @@ type Machine struct {
 	recorded  []RecordedRegion
 }
 
+// Sharding granularity for host-parallel replay. Chunk boundaries are
+// fixed by chunk size alone — never by the worker count — so partial
+// sums merge identically for any SetHostWorkers value. shardMinN keeps
+// small regions on the serial path where goroutine fork/join overhead
+// would dominate.
+const (
+	shardChunk = 512
+	shardMinN  = 2048
+)
+
 // New constructs a machine. It panics on an invalid configuration, which
 // is always a programming error at experiment-setup time.
 func New(cfg Config) *Machine {
@@ -126,12 +206,26 @@ func New(cfg Config) *Machine {
 		panic(err)
 	}
 	return &Machine{
-		cfg:      cfg,
-		bankRefs: make([]int64, cfg.Banks),
-		hotWords: make(map[uint64]int64),
-		maxExact: 1 << 17,
+		cfg:         cfg,
+		hostWorkers: 1,
+		region:      newTally(cfg.Banks),
+		maxExact:    1 << 17,
 	}
 }
+
+// SetHostWorkers sets how many host goroutines replay data-parallel
+// regions. The default 1 replays serially; any value yields identical
+// simulated results. Values below 1 are treated as 1. Call it between
+// regions, not from inside a kernel body.
+func (m *Machine) SetHostWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	m.hostWorkers = w
+}
+
+// HostWorkers returns the configured host worker count.
+func (m *Machine) HostWorkers() int { return m.hostWorkers }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -139,11 +233,16 @@ func (m *Machine) Config() Config { return m.cfg }
 // Stats returns a copy of the accumulated statistics.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Reset clears accumulated statistics and any trace, keeping the
-// configuration.
+// Reset returns the machine to its post-New state, keeping the
+// configuration and host worker count: it clears accumulated statistics,
+// any trace, and any region recording armed by RecordRegions (both the
+// captured regions and the recording threshold, so a reused machine does
+// not silently keep recording).
 func (m *Machine) Reset() {
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
+	m.recordMax = 0
+	m.recorded = nil
 }
 
 // Cycles returns total simulated cycles so far.
@@ -179,9 +278,12 @@ func (m *Machine) bankOf(addr uint64) int {
 }
 
 // Thread tallies the demand of one simulated thread (one loop iteration
-// or one serial section). Kernels call its methods as they execute.
+// or one serial section). Kernels call its methods as they execute. All
+// charges go to the thread's worker-private tally, so threads replayed on
+// different host workers never contend.
 type Thread struct {
-	m           *Machine
+	m           *Machine // configuration access only; never mutated via t
+	tl          *tally
 	instr       float64
 	serialRefs  float64
 	overlapRefs float64
@@ -190,14 +292,14 @@ type Thread struct {
 }
 
 func (t *Thread) chargeRef(addr uint64) {
-	t.m.stats.Refs++
-	t.m.bankRefs[t.m.bankOf(addr)]++
+	t.tl.refs++
+	t.tl.bankRefs[t.m.bankOf(addr)]++
 }
 
 // Instr charges n ordinary (non-memory) instructions.
 func (t *Thread) Instr(n int) {
 	t.instr += float64(n)
-	t.m.stats.Instrs += int64(n)
+	t.tl.instrs += int64(n)
 	t.recordOp(OpCompute, n)
 }
 
@@ -230,7 +332,7 @@ func (t *Thread) Store(addr uint64) {
 // word, but the issuing thread still pays a round trip for the returned
 // value.
 func (t *Thread) FetchAdd(addr uint64) {
-	t.m.stats.FetchAdds++
+	t.tl.fetchAdds++
 	t.serialRefs++
 	t.chargeRef(addr)
 	t.recordOp(OpMemDep, 1)
@@ -241,19 +343,19 @@ func (t *Thread) FetchAdd(addr uint64) {
 // granularity.
 func (t *Thread) SyncLoad(addr uint64) {
 	t.syncOps++
-	t.m.stats.SyncOps++
+	t.tl.syncOps++
 	t.serialRefs++
 	t.chargeRef(addr)
-	t.m.hotWords[addr]++
+	t.tl.hotWords[addr]++
 }
 
 // SyncStore charges a synchronized store: writeef.
 func (t *Thread) SyncStore(addr uint64) {
 	t.syncOps++
-	t.m.stats.SyncOps++
+	t.tl.syncOps++
 	t.overlapRefs++
 	t.chargeRef(addr)
-	t.m.hotWords[addr]++
+	t.tl.hotWords[addr]++
 }
 
 // item converts the tally to a schedulable item. Every memory reference
@@ -276,13 +378,15 @@ func (t *Thread) reset() {
 
 // beginRegion clears per-region accounting.
 func (m *Machine) beginRegion() {
-	for i := range m.bankRefs {
-		m.bankRefs[i] = 0
-	}
-	if len(m.hotWords) > 0 {
-		m.hotWords = make(map[uint64]int64)
-	}
-	m.regionCtrGrabs = 0
+	m.region.reset()
+}
+
+// commitRegion folds the merged region tally into the machine totals.
+func (m *Machine) commitRegion() {
+	m.stats.Refs += m.region.refs
+	m.stats.Instrs += m.region.instrs
+	m.stats.FetchAdds += m.region.fetchAdds
+	m.stats.SyncOps += m.region.syncOps
 }
 
 // grabCounter charges one int_fetch_add on the shared loop counter. The
@@ -290,10 +394,10 @@ func (m *Machine) beginRegion() {
 // module, so grabs serialize at one per cycle but do not occupy a data
 // bank.
 func (t *Thread) grabCounter() {
-	t.m.stats.FetchAdds++
-	t.m.regionCtrGrabs++
+	t.tl.fetchAdds++
+	t.tl.ctrGrabs++
 	t.serialRefs++
-	t.m.stats.Refs++
+	t.tl.refs++
 	t.recordOp(OpMemDep, 1)
 }
 
@@ -302,14 +406,14 @@ func (t *Thread) grabCounter() {
 // BankCycle cycles, and competing FEB operations on one word serialize.
 func (m *Machine) regionFloor() (floor float64, retries int64) {
 	var peak int64
-	for _, c := range m.bankRefs {
+	for _, c := range m.region.bankRefs {
 		if c > peak {
 			peak = c
 		}
 	}
 	floor = float64(peak) * m.cfg.BankCycle
 	var hottest int64
-	for _, c := range m.hotWords {
+	for _, c := range m.region.hotWords {
 		if c > hottest {
 			hottest = c
 		}
@@ -321,42 +425,22 @@ func (m *Machine) regionFloor() (floor float64, retries int64) {
 		}
 		retries = hottest - 1
 	}
-	if ctr := float64(m.regionCtrGrabs); ctr > floor {
+	if ctr := float64(m.region.ctrGrabs); ctr > floor {
 		floor = ctr // the shared counter serves one grab per cycle
 	}
 	return floor, retries
 }
 
-// ParallelFor executes body for each iteration in [0, n), charging each
-// iteration's demand to a fresh simulated thread, then advances the
-// machine clock by the region's simulated wall time. With SchedDynamic
-// each iteration also pays the int_fetch_add that fetches its index from
-// the shared loop counter, as the paper's codes do.
-func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread)) sim.RegionResult {
-	if n < 0 {
-		panic("mta: negative iteration count")
-	}
-	m.beginRegion()
-	m.stats.Regions++
-	exact := n <= m.maxExact
-	if exact {
-		if cap(m.items) < n {
-			m.items = make([]sim.Item, 0, n)
-		}
-		m.items = m.items[:0]
-	}
-	var t Thread
-	t.m = m
-	recording := m.recordMax > 0 && n <= m.recordMax
-	var itemTraces []TraceItem
-	if recording {
-		itemTraces = make([]TraceItem, n)
-	}
-	var totIssue, totCrit, maxCrit float64
-	for i := 0; i < n; i++ {
+// replaySpan runs iterations [lo, hi) on thread t in ascending order,
+// returning the span's issue/crit sums and max critical path. When exact,
+// each iteration's item is stored at its index in m.items; when traces is
+// non-nil, each iteration records into its own slot. Both are disjoint
+// per iteration, so spans may replay concurrently.
+func (m *Machine) replaySpan(t *Thread, lo, hi int, sched sim.Sched, body func(i int, t *Thread), traces []TraceItem, exact bool) (issue, crit, maxCrit float64) {
+	for i := lo; i < hi; i++ {
 		t.reset()
-		if recording {
-			t.rec = &itemTraces[i]
+		if traces != nil {
+			t.rec = &traces[i]
 		} else {
 			t.rec = nil
 		}
@@ -365,21 +449,159 @@ func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 			// the MTA compiler's chunked dynamic schedule does.
 			t.grabCounter()
 		}
-		body(i, &t)
+		body(i, t)
 		it := t.item(m.cfg)
-		totIssue += it.Issue
-		totCrit += it.Crit
+		issue += it.Issue
+		crit += it.Crit
 		if it.Crit > maxCrit {
 			maxCrit = it.Crit
 		}
 		if exact {
-			m.items = append(m.items, it)
+			m.items[i] = it
 		}
 	}
+	return issue, crit, maxCrit
+}
+
+// workerTallies returns w pooled tallies, growing the pool on demand.
+func (m *Machine) workerTallies(w int) []*tally {
+	for len(m.wtallies) < w {
+		m.wtallies = append(m.wtallies, newTally(m.cfg.Banks))
+	}
+	return m.wtallies[:w]
+}
+
+// ParallelFor executes body for each iteration in [0, n), charging each
+// iteration's demand to a fresh simulated thread, then advances the
+// machine clock by the region's simulated wall time. With SchedDynamic
+// each iteration also pays the int_fetch_add that fetches its index from
+// the shared loop counter, as the paper's codes do.
+//
+// With SetHostWorkers(w > 1) the replay is sharded across w host
+// goroutines, so body may be called concurrently for distinct i and must
+// be data-parallel: writes for different iterations must not overlap, and
+// data read by one iteration must not be written by another in the same
+// region. Loops that violate this must use ParallelForOrdered. Simulated
+// results are identical either way.
+func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread)) sim.RegionResult {
+	return m.parallelFor(n, sched, body, false)
+}
+
+// ParallelForOrdered is ParallelFor for loops whose iterations
+// communicate through shared data (the Shiloach–Vishkin grafts and
+// pointer-jumping shortcuts, the tree rakes). It always replays serially
+// in iteration order regardless of SetHostWorkers — the serial replay
+// order is this model's canonical arbitration of the simulated races —
+// and charges exactly as ParallelFor does.
+func (m *Machine) ParallelForOrdered(n int, sched sim.Sched, body func(i int, t *Thread)) sim.RegionResult {
+	return m.parallelFor(n, sched, body, true)
+}
+
+func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread), ordered bool) sim.RegionResult {
+	if n < 0 {
+		panic("mta: negative iteration count")
+	}
+	m.beginRegion()
+	m.stats.Regions++
 	var res sim.RegionResult
 	if n == 0 {
 		return res
 	}
+	exact := n <= m.maxExact
+	if exact {
+		if cap(m.items) < n {
+			m.items = make([]sim.Item, n)
+		}
+		m.items = m.items[:n]
+	}
+	recording := m.recordMax > 0 && n <= m.recordMax
+	var itemTraces []TraceItem
+	if recording {
+		itemTraces = make([]TraceItem, n)
+	}
+
+	nchunks := (n + shardChunk - 1) / shardChunk
+	w := m.hostWorkers
+	if ordered || n < shardMinN {
+		w = 1
+	}
+	if w > nchunks {
+		w = nchunks
+	}
+
+	var totIssue, totCrit, maxCrit float64
+	if w <= 1 {
+		t := Thread{m: m, tl: m.region}
+		if exact {
+			// The per-chunk sums are unused on the exact path (RunRegion
+			// consumes the items themselves), so replay straight through.
+			totIssue, totCrit, maxCrit = m.replaySpan(&t, 0, n, sched, body, itemTraces, true)
+		} else {
+			// Sum chunk partials in chunk order even serially, so the
+			// aggregate-path totals match the sharded replay bit for bit.
+			for ci := 0; ci < nchunks; ci++ {
+				lo, hi := ci*shardChunk, (ci+1)*shardChunk
+				if hi > n {
+					hi = n
+				}
+				is, cr, mx := m.replaySpan(&t, lo, hi, sched, body, itemTraces, false)
+				totIssue += is
+				totCrit += cr
+				if mx > maxCrit {
+					maxCrit = mx
+				}
+			}
+		}
+	} else {
+		var cIssue, cCrit, cMax []float64
+		if !exact {
+			if cap(m.chunkIssue) < nchunks {
+				m.chunkIssue = make([]float64, nchunks)
+				m.chunkCrit = make([]float64, nchunks)
+				m.chunkMax = make([]float64, nchunks)
+			}
+			cIssue = m.chunkIssue[:nchunks]
+			cCrit = m.chunkCrit[:nchunks]
+			cMax = m.chunkMax[:nchunks]
+		}
+		tallies := m.workerTallies(w)
+		var next atomic.Int64
+		par.Workers(w, func(worker int) {
+			tl := tallies[worker]
+			tl.reset()
+			t := Thread{m: m, tl: tl}
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo, hi := ci*shardChunk, (ci+1)*shardChunk
+				if hi > n {
+					hi = n
+				}
+				is, cr, mx := m.replaySpan(&t, lo, hi, sched, body, itemTraces, exact)
+				if !exact {
+					cIssue[ci], cCrit[ci], cMax[ci] = is, cr, mx
+				}
+			}
+		})
+		// Worker tallies hold pure counts, so merging them is
+		// order-independent; chunk partials are summed in chunk-index
+		// order, which no worker assignment can perturb.
+		for _, tl := range tallies {
+			m.region.merge(tl)
+		}
+		if !exact {
+			for ci := 0; ci < nchunks; ci++ {
+				totIssue += cIssue[ci]
+				totCrit += cCrit[ci]
+				if cMax[ci] > maxCrit {
+					maxCrit = cMax[ci]
+				}
+			}
+		}
+	}
+
 	if exact {
 		res = sim.RunRegion(m.cfg.Procs, m.cfg.UseStreams, m.items, sched)
 	} else {
@@ -395,6 +617,7 @@ func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 		m.stats.BankStalls += floor - res.Cycles
 		res.Cycles = floor
 	}
+	m.commitRegion()
 	m.stats.Retries += retries
 	m.stats.Cycles += res.Cycles
 	m.stats.Issued += res.Issued
@@ -411,8 +634,7 @@ func (m *Machine) ParallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 func (m *Machine) Serial(body func(t *Thread)) {
 	m.beginRegion()
 	m.stats.SerialSpans++
-	var t Thread
-	t.m = m
+	t := Thread{m: m, tl: m.region}
 	body(&t)
 	it := t.item(m.cfg)
 	floor, retries := m.regionFloor()
@@ -420,6 +642,7 @@ func (m *Machine) Serial(body func(t *Thread)) {
 	if floor > cycles {
 		cycles = floor
 	}
+	m.commitRegion()
 	m.stats.Retries += retries
 	m.stats.Cycles += cycles
 	m.stats.Issued += it.Issue

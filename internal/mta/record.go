@@ -27,16 +27,16 @@ type RecordedRegion struct {
 func (m *Machine) Recorded() []RecordedRegion { return m.recorded }
 
 // recordOp appends an op to the current iteration's trace, coalescing
-// consecutive same-kind entries.
+// consecutive same-kind entries. Coalescing mutates the last element
+// through the existing backing array, so only a genuine append writes
+// the slice header back.
 func (t *Thread) recordOp(kind OpKind, n int) {
 	if t.rec == nil {
 		return
 	}
-	tr := *t.rec
-	if len(tr) > 0 && tr[len(tr)-1].Kind == kind {
+	if tr := *t.rec; len(tr) > 0 && tr[len(tr)-1].Kind == kind {
 		tr[len(tr)-1].N += n
-		*t.rec = tr
 		return
 	}
-	*t.rec = append(tr, Op{Kind: kind, N: n})
+	*t.rec = append(*t.rec, Op{Kind: kind, N: n})
 }

@@ -22,7 +22,11 @@
 // on the bus.
 package smp
 
-import "fmt"
+import (
+	"fmt"
+
+	"pargraph/internal/par"
+)
 
 // Config describes an SMP machine instance.
 type Config struct {
@@ -208,13 +212,16 @@ func (p *Proc) Compute(n int) {
 }
 
 // Machine is a simulated SMP. Like the MTA model it is deterministic and
-// not safe for concurrent use.
+// not safe for concurrent use by multiple kernels; with
+// SetHostWorkers(w > 1) the simulated processors of a Phase replay
+// concurrently on host goroutines, each against its own private caches.
 type Machine struct {
-	cfg    Config
-	stats  Stats
-	procs  []*Proc
-	next   uint64 // bump allocator for Alloc
-	allocs int    // allocation count, drives the anti-conflict stagger
+	cfg         Config
+	stats       Stats
+	procs       []*Proc
+	hostWorkers int
+	next        uint64 // bump allocator for Alloc
+	allocs      int    // allocation count, drives the anti-conflict stagger
 
 	tracing bool
 	trace   []PhaseStat
@@ -225,7 +232,7 @@ func New(cfg Config) *Machine {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{cfg: cfg, next: 1 << 20}
+	m := &Machine{cfg: cfg, hostWorkers: 1, next: 1 << 20}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
 		m.procs[i] = &Proc{
@@ -237,6 +244,21 @@ func New(cfg Config) *Machine {
 	}
 	return m
 }
+
+// SetHostWorkers sets how many host goroutines replay the simulated
+// processors of a Phase. The default 1 replays serially; any value
+// yields identical simulated results because each simulated processor
+// owns its cache state and the bus/barrier merge stays serial in
+// processor order. Values below 1 are treated as 1.
+func (m *Machine) SetHostWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	m.hostWorkers = w
+}
+
+// HostWorkers returns the configured host worker count.
+func (m *Machine) HostWorkers() int { return m.hostWorkers }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -282,14 +304,58 @@ func (m *Machine) Alloc(bytes int) uint64 {
 // advances the machine clock by the slowest processor's time — stretched
 // to the bus bound if the phase's aggregate traffic exceeds the shared
 // bus bandwidth. Kernels partition work inside body using p.ID().
+//
+// With SetHostWorkers(w > 1) the per-processor bodies run concurrently
+// on host goroutines, so body must confine its writes to processor p's
+// partition (true of the phase-parallel Helman–JáJá codes). Phases whose
+// processors communicate through shared arrays must use PhaseOrdered.
+// The counter merge and bus/barrier accounting always run serially in
+// processor order, so simulated results are identical for any worker
+// count.
 func (m *Machine) Phase(body func(p *Proc)) {
+	m.phase(body, false)
+}
+
+// PhaseOrdered is Phase for bodies whose simulated processors
+// communicate through shared data (the Shiloach–Vishkin grafts and
+// shortcuts). It always replays the processors serially in index order
+// regardless of SetHostWorkers — serial replay order is the model's
+// canonical arbitration of the simulated races — and charges exactly as
+// Phase does.
+func (m *Machine) PhaseOrdered(body func(p *Proc)) {
+	m.phase(body, true)
+}
+
+func (m *Machine) phase(body func(p *Proc), ordered bool) {
 	before := m.stats
 	m.stats.Phases++
+	for _, p := range m.procs {
+		p.cycles, p.busBytes = 0, 0
+	}
+	w := m.hostWorkers
+	if ordered || w > m.cfg.Procs {
+		if ordered {
+			w = 1
+		} else {
+			w = m.cfg.Procs
+		}
+	}
+	if w > 1 {
+		par.For(m.cfg.Procs, w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				body(m.procs[i])
+			}
+		})
+	} else {
+		for _, p := range m.procs {
+			body(p)
+		}
+	}
+	// Merge in processor index order — the same floating-point
+	// accumulation order as serial replay.
 	maxCycles := 0.0
 	var bytes float64
 	for _, p := range m.procs {
-		p.cycles, p.busBytes = 0, 0
-		body(p)
 		if p.cycles > maxCycles {
 			maxCycles = p.cycles
 		}

@@ -133,7 +133,10 @@ func EvalMTA(e *Expr, m *mta.Machine, sched sim.Sched) int64 {
 	for len(leaves) > 1 {
 		for pass := 0; pass < 2; pass++ {
 			wantLeft := pass == 0
-			m.ParallelFor(len(leaves), sched, func(i int, t *mta.Thread) {
+			// Rakes relink siblings and grandparents shared between
+			// iterations, so rake rounds replay ordered under any host
+			// worker count.
+			m.ParallelForOrdered(len(leaves), sched, func(i int, t *mta.Thread) {
 				t.Load(tcLeafBase + uint64(i))
 				u := leaves[i]
 				t.LoadDep(tcParentBase + uint64(u))
@@ -216,7 +219,9 @@ func EvalSMP(e *Expr, m *smp.Machine, seed uint64) int64 {
 	for len(leaves) > 1 {
 		for pass := 0; pass < 2; pass++ {
 			wantLeft := pass == 0
-			m.Phase(func(p *smp.Proc) {
+			// Ordered for the same reason as EvalMTA's rake rounds: rakes
+			// relink state shared between processor partitions.
+			m.PhaseOrdered(func(p *smp.Proc) {
 				lo, hi := p.ID()*len(leaves)/procs, (p.ID()+1)*len(leaves)/procs
 				for i := lo; i < hi; i++ {
 					p.Load(leafA + uint64(i)*4)

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Runs the simulator benchmarks (the host-scaling sweep plus the two
+# single-worker engine benchmarks) and writes BENCH_simulators.json with
+# ns/op per benchmark, so the simulators' host performance is tracked
+# PR over PR.
+#
+# Usage: scripts/bench_simulators.sh [output.json]
+set -eu
+
+out=${1:-BENCH_simulators.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkHostScaling|BenchmarkSimulatorMTA$|BenchmarkSimulatorSMP$' \
+    -benchtime 2x -count 1 . | tee "$raw"
+
+awk '
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    bench[n++] = name
+    nsop[name] = $3
+}
+END {
+    printf "{\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        b = bench[i]
+        printf "    \"%s\": %s%s\n", b, nsop[b], (i < n - 1 ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out"
