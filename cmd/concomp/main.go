@@ -24,6 +24,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/trace"
 )
 
 func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) *graph.Graph {
@@ -52,23 +53,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("concomp: ")
 	var (
-		gen     = flag.String("gen", "gnm", "graph generator: gnm, rmat, mesh2d, mesh3d, torus")
-		n       = flag.Int("n", 1<<18, "vertices (gnm)")
-		m       = flag.Int("m", 4<<18, "edges (gnm)")
-		rows    = flag.Int("rows", 512, "rows (mesh/torus)")
-		cols    = flag.Int("cols", 512, "cols (mesh/torus)")
-		depth   = flag.Int("depth", 8, "depth (mesh3d)")
-		machine = flag.String("machine", "mta", "machine: mta, mta-star, smp, native, as, randmate, hybrid, seq, bfs")
-		procs   = flag.Int("p", 8, "processors (goroutines for native)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		verify  = flag.Bool("verify", true, "cross-check against union-find")
-		inFile  = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
-		outFile = flag.String("out", "", "also write the graph to a DIMACS `p edge` file")
-		workers = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		gen      = flag.String("gen", "gnm", "graph generator: gnm, rmat, mesh2d, mesh3d, torus")
+		n        = flag.Int("n", 1<<18, "vertices (gnm)")
+		m        = flag.Int("m", 4<<18, "edges (gnm)")
+		rows     = flag.Int("rows", 512, "rows (mesh/torus)")
+		cols     = flag.Int("cols", 512, "cols (mesh/torus)")
+		depth    = flag.Int("depth", 8, "depth (mesh3d)")
+		machine  = flag.String("machine", "mta", "machine: mta, mta-star, smp, native, as, randmate, hybrid, seq, bfs")
+		procs    = flag.Int("p", 8, "processors (goroutines for native)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		verify   = flag.Bool("verify", true, "cross-check against union-find")
+		inFile   = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
+		outFile  = flag.String("out", "", "also write the graph to a DIMACS `p edge` file")
+		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = &trace.Recorder{}
+	}
+	writeTraceJSON := func() {
+		if rec == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var g *graph.Graph
@@ -104,6 +125,9 @@ func main() {
 	case "mta", "mta-star":
 		mm := mta.New(mta.DefaultConfig(*procs))
 		mm.SetHostWorkers(*workers)
+		if rec != nil {
+			mm.SetSink(rec)
+		}
 		if *machine == "mta" {
 			labels = concomp.LabelMTA(g, mm, sim.SchedDynamic)
 		} else {
@@ -114,9 +138,13 @@ func main() {
 		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
 		fmt.Printf("utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
 			mm.Utilization()*100, st.Refs, st.Regions, st.Barriers)
+		writeTraceJSON()
 	case "smp":
 		sm := smp.New(smp.DefaultConfig(*procs))
 		sm.SetHostWorkers(*workers)
+		if rec != nil {
+			sm.SetSink(rec)
+		}
 		labels = concomp.LabelSMP(g, sm)
 		st := sm.Stats()
 		total := st.L1Hits + st.L2Hits + st.Misses
@@ -128,6 +156,7 @@ func main() {
 			100*float64(st.L2Hits)/float64(total),
 			100*float64(st.Misses)/float64(total),
 			st.Barriers)
+		writeTraceJSON()
 	case "native":
 		start := time.Now()
 		labels = concomp.SV(g, *procs)

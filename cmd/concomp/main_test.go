@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmokeMTA(t *testing.T) {
+	cmdtest.Expect(t, []string{"-n", "1024", "-m", "2048", "-machine", "mta"},
+		"machine=mta", "components verified ok")
+}
+
+func TestSmokeSMP(t *testing.T) {
+	cmdtest.Expect(t, []string{"-n", "1024", "-m", "2048", "-machine", "smp"},
+		"machine=SMP", "components verified ok")
+}

@@ -15,16 +15,21 @@
 //	figures -scale small|medium|paper
 //	figures -all -json           # machine-readable output
 //	figures -fig 1 -csv          # long-format CSV for plotting
+//	figures -fig 1 -trace t.json # Chrome trace of every simulated run
+//	figures -fig 2 -attr a.csv   # per-region cycle attribution as CSV
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 
 	"pargraph/internal/harness"
+	"pargraph/internal/trace"
 )
 
 func main() {
@@ -40,6 +45,8 @@ func main() {
 		jsonFlag = flag.Bool("json", false, "emit results as JSON instead of tables")
 		csvFlag  = flag.Bool("csv", false, "emit figure/table results as CSV instead of tables")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		traceOut = flag.String("trace", "", "record every simulated machine's attribution trace and write Chrome trace JSON to this file")
+		attrOut  = flag.String("attr", "", "with tracing, also write the per-region attribution as CSV to this file")
 	)
 	flag.Parse()
 
@@ -47,6 +54,12 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	harness.HostWorkers = *workers
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *attrOut != "" {
+		rec = &trace.Recorder{}
+		harness.TraceSink = rec
+	}
 
 	scale, err := harness.ParseScale(*scaleS)
 	if err != nil {
@@ -204,6 +217,21 @@ func main() {
 		writeExp(run())
 	}
 
+	if rec != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, rec.WriteChromeTrace); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote Chrome trace to %s", *traceOut)
+		}
+		if *attrOut != "" {
+			if err := writeFile(*attrOut, rec.WriteAttributionCSV); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote attribution CSV to %s", *attrOut)
+		}
+	}
+
 	if *jsonFlag {
 		if err := rep.WriteJSON(out); err != nil {
 			log.Fatal(err)
@@ -214,6 +242,24 @@ func main() {
 		return
 	}
 	fmt.Fprintln(out, "done.")
+}
+
+// writeFile renders into path through a buffered writer.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := render(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func addAbl(rep *harness.Report, a *harness.AblationResult) *harness.AblationResult {

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	cmdtest.Expect(t, []string{"-fig", "2", "-scale", "small"},
+		"Fig. 2", "MTA", "SMP", "done.")
+}

@@ -22,27 +22,48 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("listrank: ")
 	var (
-		n       = flag.Int("n", 1<<20, "list length")
-		layout  = flag.String("layout", "random", "list layout: ordered, clustered, or random")
-		machine = flag.String("machine", "mta", "machine: mta, smp, native, or seq")
-		procs   = flag.Int("p", 8, "processors (goroutines for native)")
-		walks   = flag.Int("nodes-per-walk", listrank.DefaultNodesPerWalk, "MTA list nodes per walk")
-		subl    = flag.Int("sublists-per-proc", 8, "SMP sublists per processor")
-		sched   = flag.String("sched", "dynamic", "MTA loop schedule: dynamic or block")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		verify  = flag.Bool("verify", true, "cross-check ranks against the sequential walk")
-		trace   = flag.Bool("trace", false, "print a per-region execution trace (simulated machines)")
-		workers = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		n        = flag.Int("n", 1<<20, "list length")
+		layout   = flag.String("layout", "random", "list layout: ordered, clustered, or random")
+		machine  = flag.String("machine", "mta", "machine: mta, smp, native, or seq")
+		procs    = flag.Int("p", 8, "processors (goroutines for native)")
+		walks    = flag.Int("nodes-per-walk", listrank.DefaultNodesPerWalk, "MTA list nodes per walk")
+		subl     = flag.Int("sublists-per-proc", 8, "SMP sublists per processor")
+		sched    = flag.String("sched", "dynamic", "MTA loop schedule: dynamic or block")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		verify   = flag.Bool("verify", true, "cross-check ranks against the sequential walk")
+		traceFl  = flag.Bool("trace", false, "print a per-region execution trace (simulated machines)")
+		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = &trace.Recorder{}
+	}
+	writeTraceJSON := func() {
+		if rec == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var lay list.Layout
@@ -69,8 +90,11 @@ func main() {
 		}
 		m := mta.New(mta.DefaultConfig(*procs))
 		m.SetHostWorkers(*workers)
-		if *trace {
+		if *traceFl {
 			m.EnableTrace()
+		}
+		if rec != nil {
+			m.SetSink(rec)
 		}
 		rank = listrank.RankMTA(l, m, *n / *walks, s)
 		st := m.Stats()
@@ -78,14 +102,18 @@ func main() {
 		fmt.Printf("simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
 		fmt.Printf("utilization: %.1f%%  refs=%d instrs=%d regions=%d barriers=%d\n",
 			m.Utilization()*100, st.Refs, st.Instrs, st.Regions, st.Barriers)
-		if *trace {
+		if *traceFl {
 			m.WriteTrace(os.Stdout)
 		}
+		writeTraceJSON()
 	case "smp":
 		m := smp.New(smp.DefaultConfig(*procs))
 		m.SetHostWorkers(*workers)
-		if *trace {
+		if *traceFl {
 			m.EnableTrace()
+		}
+		if rec != nil {
+			m.SetSink(rec)
 		}
 		rank = listrank.RankSMP(l, m, *subl**procs, *seed^0xfeed)
 		st := m.Stats()
@@ -98,9 +126,10 @@ func main() {
 			100*float64(st.L2Hits)/float64(total),
 			100*float64(st.Misses)/float64(total),
 			st.Barriers)
-		if *trace {
+		if *traceFl {
 			m.WriteTrace(os.Stdout)
 		}
+		writeTraceJSON()
 	case "native":
 		start := time.Now()
 		rank = listrank.HelmanJaja(l, *procs)

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmokeMTA(t *testing.T) {
+	cmdtest.Expect(t, []string{"-n", "4096", "-machine", "mta"},
+		"machine=MTA", "ranks verified ok")
+}
+
+func TestSmokeSMP(t *testing.T) {
+	cmdtest.Expect(t, []string{"-n", "4096", "-machine", "smp"},
+		"machine=SMP", "ranks verified ok")
+}

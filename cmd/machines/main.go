@@ -15,6 +15,7 @@ import (
 
 	"pargraph/internal/mta"
 	"pargraph/internal/smp"
+	"pargraph/internal/trace"
 )
 
 func main() {
@@ -46,4 +47,15 @@ func main() {
 	fmt.Fprintf(tw, "  bus\t%.1f bytes/cycle (%.2f GB/s)\n", s.BusBPC, s.BusBPC*s.ClockMHz*1e6/1e9)
 	fmt.Fprintf(tw, "  barrier\t%.0f + %.0f·p cycles\n", s.BarrierCy, s.BarrierPP)
 	tw.Flush()
+
+	// Legend for the attribution categories cmd/profile and the -trace
+	// flags emit, so trace artifacts are self-describing too.
+	for _, machine := range []string{"MTA", "SMP"} {
+		fmt.Printf("\n%s trace attribution categories (internal/trace)\n", machine)
+		lw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, c := range trace.Categories(machine) {
+			fmt.Fprintf(lw, "  %s\t%s\n", c.Name, c.Meaning)
+		}
+		lw.Flush()
+	}
 }

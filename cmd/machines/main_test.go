@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	cmdtest.Expect(t, []string{"-p", "4"},
+		"Cray MTA-2 model", "Sun E4500 model", "trace attribution categories")
+}

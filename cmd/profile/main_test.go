@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmokeAttrTable(t *testing.T) {
+	cmdtest.Expect(t, []string{"-kernel", "fig1", "-machine", "both", "-n", "4096"},
+		"MTA fig1", "SMP fig1", "per-region attribution", "issue", "compute")
+}
+
+func TestSmokeChromeTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	cmdtest.Run(t, "-kernel", "fig2", "-machine", "mta", "-n", "1024", "-attr", "none", "-trace", out)
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+
+	"pargraph/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	cmdtest.Run(t)
+}

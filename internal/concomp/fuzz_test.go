@@ -1,0 +1,59 @@
+package concomp
+
+// Fuzz target for the connected-components kernels: an arbitrary edge
+// list (decoded from fuzzer bytes) must yield the same component
+// partition from the parallel algorithms as from the sequential
+// union-find reference.
+
+import (
+	"testing"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// decodeGraph turns fuzzer bytes into a small valid graph: the first
+// byte picks the vertex count (1..64), each following pair of bytes is
+// one edge with endpoints reduced mod n. Self-loops and duplicates
+// survive decoding on purpose.
+func decodeGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return &graph.Graph{N: 1}
+	}
+	n := int(data[0])%64 + 1
+	g := &graph.Graph{N: n}
+	for i := 1; i+1 < len(data) && len(g.Edges) < 512; i += 2 {
+		g.Edges = append(g.Edges, graph.Edge{
+			U: int32(int(data[i]) % n),
+			V: int32(int(data[i+1]) % n),
+		})
+	}
+	return g
+}
+
+func FuzzComponentsMatchUnionFind(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{3, 0, 1, 1, 2})          // chain
+	f.Add([]byte{5, 2, 2, 2, 2})          // repeated self-loop
+	f.Add([]byte{64, 0, 63, 63, 0, 7, 7}) // extremes + loop
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder built an invalid graph: %v", err)
+		}
+		want := UnionFind(g)
+
+		m := mta.New(mta.DefaultConfig(2))
+		if got := LabelMTA(g, m, sim.SchedDynamic); !graph.SameComponents(want, got) {
+			t.Fatalf("LabelMTA disagrees with union-find on n=%d m=%d", g.N, g.M())
+		}
+		s := smp.New(smp.DefaultConfig(2))
+		if got := LabelSMP(g, s); !graph.SameComponents(want, got) {
+			t.Fatalf("LabelSMP disagrees with union-find on n=%d m=%d", g.N, g.M())
+		}
+	})
+}

@@ -17,6 +17,18 @@ import (
 	"pargraph/internal/msf"
 )
 
+// capHint bounds the edge-slice capacity preallocated from a header's
+// declared edge count: the count is untrusted input, and a line like
+// `p edge 1 999999999` must not allocate gigabytes before a single edge
+// is read. Larger real inputs just grow by appending.
+func capHint(m int) int {
+	const max = 1 << 20
+	if m > max {
+		return max
+	}
+	return m
+}
+
 // WriteDIMACS writes g in the unweighted `p edge` format.
 func WriteDIMACS(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
@@ -57,7 +69,7 @@ func ReadDIMACS(r io.Reader) (*graph.Graph, error) {
 			if err1 != nil || err2 != nil || n < 0 || m < 0 {
 				return nil, fmt.Errorf("gio: line %d: bad problem sizes", line)
 			}
-			g = &graph.Graph{N: n, Edges: make([]graph.Edge, 0, m)}
+			g = &graph.Graph{N: n, Edges: make([]graph.Edge, 0, capHint(m))}
 			edges = m
 		case "e":
 			if g == nil {
@@ -123,7 +135,7 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 			if err1 != nil || err2 != nil || n < 0 || m < 0 {
 				return nil, fmt.Errorf("gio: line %d: bad problem sizes", line)
 			}
-			g = &msf.WGraph{N: n, Edges: make([]msf.WEdge, 0, m)}
+			g = &msf.WGraph{N: n, Edges: make([]msf.WEdge, 0, capHint(m))}
 		case "a":
 			if g == nil {
 				return nil, fmt.Errorf("gio: line %d: arc before problem line", line)

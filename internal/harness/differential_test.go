@@ -1,0 +1,236 @@
+package harness
+
+// Differential kernel suite: every machine implementation of every
+// kernel — MTA, SMP, and the sequential reference — must compute
+// identical results on a shared corpus of randomized and adversarial
+// inputs. The machine models charge different costs, but the algorithms
+// are deterministic, so outputs must match exactly; any divergence is a
+// kernel bug, not a modeling choice.
+
+import (
+	"fmt"
+	"testing"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/rng"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+	"pargraph/internal/treecon"
+)
+
+// diffProcs cycles the simulated processor counts the corpus runs at;
+// 3 is deliberately not a power of two so partition boundaries misalign.
+var diffProcs = []int{1, 3, 8}
+
+func equalInt64(t *testing.T, name string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// listCases is the shared list corpus: adversarial shapes (singleton,
+// two nodes, prime sizes) at every layout, plus a seeded random sweep.
+type listCase struct {
+	name   string
+	n      int
+	layout list.Layout
+	seed   uint64
+}
+
+func listCorpus() []listCase {
+	var cases []listCase
+	layouts := []list.Layout{list.Ordered, list.Random, list.Clustered}
+	for _, n := range []int{1, 2, 3, 17, 256, 1009, 4096} {
+		for _, lay := range layouts {
+			cases = append(cases, listCase{
+				name:   fmt.Sprintf("%s/n=%d", lay, n),
+				n:      n,
+				layout: lay,
+				seed:   uint64(n)*3 + uint64(lay),
+			})
+		}
+	}
+	r := rng.New(0xd1ff)
+	for i := 0; i < 6; i++ {
+		n := 2 + r.Intn(3000)
+		lay := layouts[r.Intn(len(layouts))]
+		cases = append(cases, listCase{
+			name:   fmt.Sprintf("random%d/%s/n=%d", i, lay, n),
+			n:      n,
+			layout: lay,
+			seed:   r.Uint64(),
+		})
+	}
+	return cases
+}
+
+func TestDifferentialListRanking(t *testing.T) {
+	for i, tc := range listCorpus() {
+		procs := diffProcs[i%len(diffProcs)]
+		t.Run(tc.name, func(t *testing.T) {
+			l := list.New(tc.n, tc.layout, tc.seed)
+			want := listrank.Sequential(l)
+			if err := l.VerifyRanks(want); err != nil {
+				t.Fatalf("sequential reference is wrong: %v", err)
+			}
+
+			// nwalk=1 degenerates to one serial walk; nwalk=n gives every
+			// node its own walk — both are adversarial schedules.
+			for _, nwalk := range []int{1, tc.n/listrank.DefaultNodesPerWalk + 1, tc.n} {
+				mm := mta.New(mta.DefaultConfig(procs))
+				got := listrank.RankMTA(l, mm, nwalk, sim.SchedDynamic)
+				equalInt64(t, fmt.Sprintf("RankMTA nwalk=%d p=%d", nwalk, procs), got, want)
+			}
+			for _, s := range []int{1, 8 * procs} {
+				sm := smp.New(smp.DefaultConfig(procs))
+				got := listrank.RankSMP(l, sm, s, tc.seed^0xfeed)
+				equalInt64(t, fmt.Sprintf("RankSMP s=%d p=%d", s, procs), got, want)
+			}
+		})
+	}
+}
+
+func TestDifferentialWeightedPrefix(t *testing.T) {
+	for i, tc := range listCorpus() {
+		procs := diffProcs[(i+1)%len(diffProcs)]
+		t.Run(tc.name, func(t *testing.T) {
+			l := list.New(tc.n, tc.layout, tc.seed)
+			vals := make([]int64, tc.n)
+			r := rng.New(tc.seed ^ 0x77)
+			for j := range vals {
+				vals[j] = int64(r.Intn(2001)) - 1000 // negatives exercise cancellation
+			}
+			want := listrank.SequentialPrefix(l, vals)
+
+			for _, nwalk := range []int{1, tc.n/listrank.DefaultNodesPerWalk + 1, tc.n} {
+				mm := mta.New(mta.DefaultConfig(procs))
+				got := listrank.PrefixMTA(l, vals, mm, nwalk, sim.SchedDynamic)
+				equalInt64(t, fmt.Sprintf("PrefixMTA nwalk=%d p=%d", nwalk, procs), got, want)
+			}
+			for _, s := range []int{1, 8 * procs} {
+				sm := smp.New(smp.DefaultConfig(procs))
+				got := listrank.PrefixSMP(l, vals, sm, s, tc.seed^0xfeed)
+				equalInt64(t, fmt.Sprintf("PrefixSMP s=%d p=%d", s, procs), got, want)
+			}
+		})
+	}
+}
+
+// selfLoopGraph builds a graph with self-loops, duplicate edges, and
+// isolated vertices — shapes the generators never emit but the kernels
+// must survive.
+func selfLoopGraph(n int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	g := &graph.Graph{N: n}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0: // self-loop
+			v := int32(r.Intn(n))
+			g.Edges = append(g.Edges, graph.Edge{U: v, V: v})
+		case 1: // duplicate of a chain edge
+			if i > 0 {
+				g.Edges = append(g.Edges, graph.Edge{U: int32(i - 1), V: int32(i)})
+				g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(i - 1)})
+			}
+		case 2: // random edge
+			g.Edges = append(g.Edges, graph.Edge{U: int32(r.Intn(n)), V: int32(r.Intn(n))})
+		case 3: // leave vertex i possibly isolated
+		}
+	}
+	return g
+}
+
+func TestDifferentialConnectedComponents(t *testing.T) {
+	type graphCase struct {
+		name string
+		g    *graph.Graph
+	}
+	var cases []graphCase
+	cases = append(cases,
+		graphCase{"chain/n=2", graph.Chain(2)},
+		graphCase{"chain/n=1000", graph.Chain(1000)},
+		graphCase{"star/n=1000", graph.Star(1000)},
+		graphCase{"empty/n=100", &graph.Graph{N: 100}},
+		graphCase{"selfloops/n=500", selfLoopGraph(500, 0x5e1f)},
+	)
+	// Disconnected forests with known component structure.
+	for _, k := range []int{2, 7} {
+		g, want := graph.KnownComponents(k, 64, uint64(k)*11)
+		if graph.CountComponents(want) != k {
+			t.Fatalf("KnownComponents(%d) built %d components", k, graph.CountComponents(want))
+		}
+		cases = append(cases, graphCase{fmt.Sprintf("forest/k=%d", k), g})
+	}
+	r := rng.New(0x60a7)
+	for i := 0; i < 5; i++ {
+		n := 2 + r.Intn(2000)
+		m := r.Intn(4 * n)
+		cases = append(cases, graphCase{
+			fmt.Sprintf("gnm%d/n=%d/m=%d", i, n, m),
+			graph.RandomGnm(n, m, r.Uint64()),
+		})
+	}
+
+	for i, tc := range cases {
+		procs := diffProcs[i%len(diffProcs)]
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			want := concomp.UnionFind(tc.g)
+
+			mm := mta.New(mta.DefaultConfig(procs))
+			if got := concomp.LabelMTA(tc.g, mm, sim.SchedDynamic); !graph.SameComponents(want, got) {
+				t.Errorf("LabelMTA p=%d: wrong component partition", procs)
+			}
+			sm := smp.New(smp.DefaultConfig(procs))
+			if got := concomp.LabelSMP(tc.g, sm); !graph.SameComponents(want, got) {
+				t.Errorf("LabelSMP p=%d: wrong component partition", procs)
+			}
+		})
+	}
+}
+
+func TestDifferentialTreeContraction(t *testing.T) {
+	type treeCase struct {
+		name    string
+		nLeaves int
+		seed    uint64
+	}
+	var cases []treeCase
+	for _, n := range []int{1, 2, 3, 5, 64, 257, 1024} {
+		cases = append(cases, treeCase{fmt.Sprintf("n=%d", n), n, uint64(n) * 7})
+	}
+	r := rng.New(0x7ee5)
+	for i := 0; i < 5; i++ {
+		n := 1 + r.Intn(1500)
+		cases = append(cases, treeCase{fmt.Sprintf("random%d/n=%d", i, n), n, r.Uint64()})
+	}
+
+	for i, tc := range cases {
+		procs := diffProcs[i%len(diffProcs)]
+		t.Run(tc.name, func(t *testing.T) {
+			e := treecon.RandomExpr(tc.nLeaves, tc.seed)
+			want := treecon.EvalSequential(e)
+
+			mm := mta.New(mta.DefaultConfig(procs))
+			if got := treecon.EvalMTA(e, mm, sim.SchedDynamic); got != want {
+				t.Errorf("EvalMTA p=%d = %d, want %d", procs, got, want)
+			}
+			sm := smp.New(smp.DefaultConfig(procs))
+			if got := treecon.EvalSMP(e, sm, tc.seed^0x5eed); got != want {
+				t.Errorf("EvalSMP p=%d = %d, want %d", procs, got, want)
+			}
+		})
+	}
+}

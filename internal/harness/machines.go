@@ -3,6 +3,7 @@ package harness
 import (
 	"pargraph/internal/mta"
 	"pargraph/internal/smp"
+	"pargraph/internal/trace"
 )
 
 // HostWorkers is the number of host goroutines every machine the harness
@@ -12,10 +13,27 @@ import (
 // experiments — cmd/figures wires its -workers flag here.
 var HostWorkers = 1
 
+// TraceSink, when non-nil, is attached to every machine the harness
+// constructs, so a whole experiment sweep records one interleaved
+// attribution trace (see internal/trace). cmd/figures and friends wire
+// their -trace flags here. Traces are bit-identical for any HostWorkers
+// value.
+var TraceSink trace.Sink
+
+// TraceSampleCycles, when positive, additionally samples within-region
+// issue-slot timelines on MTA machines at this simulated-cycle
+// granularity (see mta.Machine.SetTraceSampling). It has no effect
+// without a TraceSink.
+var TraceSampleCycles float64
+
 // newMTA constructs an MTA machine with the harness host-worker setting.
 func newMTA(cfg mta.Config) *mta.Machine {
 	m := mta.New(cfg)
 	m.SetHostWorkers(HostWorkers)
+	if TraceSink != nil {
+		m.SetSink(TraceSink)
+		m.SetTraceSampling(TraceSampleCycles)
+	}
 	return m
 }
 
@@ -23,5 +41,8 @@ func newMTA(cfg mta.Config) *mta.Machine {
 func newSMP(cfg smp.Config) *smp.Machine {
 	m := smp.New(cfg)
 	m.SetHostWorkers(HostWorkers)
+	if TraceSink != nil {
+		m.SetSink(TraceSink)
+	}
 	return m
 }

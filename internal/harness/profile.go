@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+
+	"pargraph/internal/concomp"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/rng"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+	"pargraph/internal/trace"
+	"pargraph/internal/treecon"
+)
+
+// ProfileParams configures one attribution-profiling run (cmd/profile):
+// a single kernel at a single size, traced region by region.
+type ProfileParams struct {
+	Kernel  string // "fig1" (list ranking), "fig2" (connected components), "prefix", "treecon"
+	Machine string // "mta", "smp", or "both"
+	N       int    // nodes / vertices / leaves
+	Procs   int
+	Layout  list.Layout // list layout for fig1/prefix
+	Seed    uint64
+	// SampleCycles, when positive, records within-region issue timelines
+	// on the MTA at this granularity (see mta.Machine.SetTraceSampling).
+	SampleCycles float64
+}
+
+// DefaultProfile returns a profile configuration with the experiment
+// suite's customary defaults.
+func DefaultProfile() ProfileParams {
+	return ProfileParams{
+		Kernel:  "fig1",
+		Machine: "both",
+		N:       1 << 16,
+		Procs:   8,
+		Layout:  list.Random,
+		Seed:    0x33,
+	}
+}
+
+// ProfileRun summarizes one machine's traced execution.
+type ProfileRun struct {
+	Machine string
+	Cycles  float64
+	Seconds float64
+	Events  int
+}
+
+// ProfileResult is a traced kernel execution: the recorded event stream
+// plus per-machine summaries. Render it with the Recorder's
+// WriteChromeTrace / WriteAttribution* / WriteTimeline methods.
+type ProfileResult struct {
+	Params   ProfileParams
+	Recorder *trace.Recorder
+	Runs     []ProfileRun
+}
+
+// RunProfile executes the configured kernel under tracing on the
+// requested machine(s), verifying each result against the sequential
+// reference. Events are emitted at region commit on the kernel's
+// goroutine, so the recorded stream (and everything rendered from it)
+// is bit-identical for any HostWorkers value.
+func RunProfile(params ProfileParams) (*ProfileResult, error) {
+	if params.N < 2 {
+		return nil, fmt.Errorf("profile: n must be at least 2, got %d", params.N)
+	}
+	if params.Procs < 1 {
+		return nil, fmt.Errorf("profile: procs must be positive, got %d", params.Procs)
+	}
+	wantMTA, wantSMP := false, false
+	switch params.Machine {
+	case "mta":
+		wantMTA = true
+	case "smp":
+		wantSMP = true
+	case "both":
+		wantMTA, wantSMP = true, true
+	default:
+		return nil, fmt.Errorf("profile: unknown machine %q (want mta, smp, or both)", params.Machine)
+	}
+
+	rec := &trace.Recorder{}
+	res := &ProfileResult{Params: params, Recorder: rec}
+
+	runMTA := func(kernel func(m *mta.Machine) error) error {
+		if !wantMTA {
+			return nil
+		}
+		m := mta.New(mta.DefaultConfig(params.Procs))
+		m.SetHostWorkers(HostWorkers)
+		m.SetSink(rec)
+		m.SetTraceSampling(params.SampleCycles)
+		before := len(rec.Events)
+		if err := kernel(m); err != nil {
+			return fmt.Errorf("profile MTA %s: %w", params.Kernel, err)
+		}
+		res.Runs = append(res.Runs, ProfileRun{
+			Machine: "MTA", Cycles: m.Cycles(), Seconds: m.Seconds(),
+			Events: len(rec.Events) - before,
+		})
+		return nil
+	}
+	runSMP := func(kernel func(m *smp.Machine) error) error {
+		if !wantSMP {
+			return nil
+		}
+		m := smp.New(smp.DefaultConfig(params.Procs))
+		m.SetHostWorkers(HostWorkers)
+		m.SetSink(rec)
+		before := len(rec.Events)
+		if err := kernel(m); err != nil {
+			return fmt.Errorf("profile SMP %s: %w", params.Kernel, err)
+		}
+		res.Runs = append(res.Runs, ProfileRun{
+			Machine: "SMP", Cycles: m.Cycles(), Seconds: m.Seconds(),
+			Events: len(rec.Events) - before,
+		})
+		return nil
+	}
+
+	n := params.N
+	switch params.Kernel {
+	case "fig1":
+		l := list.New(n, params.Layout, params.Seed)
+		if err := runMTA(func(m *mta.Machine) error {
+			rank := listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+			return l.VerifyRanks(rank)
+		}); err != nil {
+			return nil, err
+		}
+		if err := runSMP(func(m *smp.Machine) error {
+			rank := listrank.RankSMP(l, m, 8*params.Procs, params.Seed)
+			return l.VerifyRanks(rank)
+		}); err != nil {
+			return nil, err
+		}
+
+	case "fig2":
+		g := graph.RandomGnm(n, 8*n, params.Seed)
+		want := concomp.UnionFind(g)
+		check := func(got []int32) error {
+			if !graph.SameComponents(want, got) {
+				return fmt.Errorf("wrong components")
+			}
+			return nil
+		}
+		if err := runMTA(func(m *mta.Machine) error {
+			return check(concomp.LabelMTA(g, m, sim.SchedDynamic))
+		}); err != nil {
+			return nil, err
+		}
+		if err := runSMP(func(m *smp.Machine) error {
+			return check(concomp.LabelSMP(g, m))
+		}); err != nil {
+			return nil, err
+		}
+
+	case "prefix":
+		l := list.New(n, params.Layout, params.Seed)
+		vals := make([]int64, n)
+		r := rng.New(params.Seed ^ 0xabcd)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000)) - 500
+		}
+		want := listrank.SequentialPrefix(l, vals)
+		check := func(got []int64) error {
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("prefix sum mismatch at node %d", i)
+				}
+			}
+			return nil
+		}
+		if err := runMTA(func(m *mta.Machine) error {
+			return check(listrank.PrefixMTA(l, vals, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic))
+		}); err != nil {
+			return nil, err
+		}
+		if err := runSMP(func(m *smp.Machine) error {
+			return check(listrank.PrefixSMP(l, vals, m, 8*params.Procs, params.Seed))
+		}); err != nil {
+			return nil, err
+		}
+
+	case "treecon":
+		e := treecon.RandomExpr(n, params.Seed)
+		want := treecon.EvalSequential(e)
+		check := func(got int64) error {
+			if got != want {
+				return fmt.Errorf("tree evaluation mismatch: got %d, want %d", got, want)
+			}
+			return nil
+		}
+		if err := runMTA(func(m *mta.Machine) error {
+			return check(treecon.EvalMTA(e, m, sim.SchedDynamic))
+		}); err != nil {
+			return nil, err
+		}
+		if err := runSMP(func(m *smp.Machine) error {
+			return check(treecon.EvalSMP(e, m, params.Seed))
+		}); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("profile: unknown kernel %q (want fig1, fig2, prefix, or treecon)", params.Kernel)
+	}
+	return res, nil
+}

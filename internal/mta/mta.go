@@ -37,6 +37,7 @@ import (
 
 	"pargraph/internal/par"
 	"pargraph/internal/sim"
+	"pargraph/internal/trace"
 )
 
 // Config describes an MTA machine instance.
@@ -185,6 +186,12 @@ type Machine struct {
 	tracing bool
 	trace   []RegionStat
 
+	// Attribution-event sink (internal/trace); nil means tracing is off
+	// and regions pay only a nil check. evSeq numbers emitted events.
+	sink     trace.Sink
+	sampleCy float64
+	evSeq    int
+
 	recordMax int
 	recorded  []RecordedRegion
 }
@@ -241,6 +248,7 @@ func (m *Machine) Stats() Stats { return m.stats }
 func (m *Machine) Reset() {
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
+	m.evSeq = 0
 	m.recordMax = 0
 	m.recorded = nil
 }
@@ -401,17 +409,20 @@ func (t *Thread) grabCounter() {
 	t.recordOp(OpMemDep, 1)
 }
 
-// regionFloor returns the lower bound on the region's wall time imposed
-// by memory banks and FEB hotspots: a bank accepts one request per
-// BankCycle cycles, and competing FEB operations on one word serialize.
-func (m *Machine) regionFloor() (floor float64, retries int64) {
+// regionFloors returns the lower bounds on the region's wall time
+// imposed by memory banks and FEB hotspots: a bank accepts one request
+// per BankCycle cycles, competing FEB operations on one word serialize,
+// and the shared dynamic-schedule counter serves one grab per cycle.
+// The trace layer uses the breakdown to name the binding floor.
+func (m *Machine) regionFloors() floors {
+	var fl floors
 	var peak int64
 	for _, c := range m.region.bankRefs {
 		if c > peak {
 			peak = c
 		}
 	}
-	floor = float64(peak) * m.cfg.BankCycle
+	fl.bank = float64(peak) * m.cfg.BankCycle
 	var hottest int64
 	for _, c := range m.region.hotWords {
 		if c > hottest {
@@ -419,16 +430,11 @@ func (m *Machine) regionFloor() (floor float64, retries int64) {
 		}
 	}
 	if hottest > 1 {
-		hot := float64(hottest) * m.cfg.HotspotCycle
-		if hot > floor {
-			floor = hot
-		}
-		retries = hottest - 1
+		fl.hotspot = float64(hottest) * m.cfg.HotspotCycle
+		fl.retries = hottest - 1
 	}
-	if ctr := float64(m.region.ctrGrabs); ctr > floor {
-		floor = ctr // the shared counter serves one grab per cycle
-	}
-	return floor, retries
+	fl.ctr = float64(m.region.ctrGrabs)
+	return fl
 }
 
 // replaySpan runs iterations [lo, hi) on thread t in ascending order,
@@ -602,8 +608,15 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 		}
 	}
 
+	var samples []float64
 	if exact {
-		res = sim.RunRegion(m.cfg.Procs, m.cfg.UseStreams, m.items, sched)
+		if m.sink != nil && m.sampleCy > 0 {
+			tl := &sim.IssueTimeline{Interval: m.sampleCy}
+			res = sim.RunRegionTimeline(m.cfg.Procs, m.cfg.UseStreams, m.items, sched, tl)
+			samples = tl.Used
+		} else {
+			res = sim.RunRegion(m.cfg.Procs, m.cfg.UseStreams, m.items, sched)
+		}
 	} else {
 		avg := sim.Item{Issue: totIssue / float64(n), Crit: totCrit / float64(n)}
 		res = sim.RunUniformRegion(m.cfg.Procs, m.cfg.UseStreams, n, avg, sched)
@@ -612,16 +625,21 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 		}
 		res.Issued = totIssue
 	}
-	floor, retries := m.regionFloor()
-	if floor > res.Cycles {
+	fl := m.regionFloors()
+	fluid := res.Cycles
+	if floor := fl.max(); floor > res.Cycles {
 		m.stats.BankStalls += floor - res.Cycles
 		res.Cycles = floor
 	}
 	m.commitRegion()
-	m.stats.Retries += retries
+	m.stats.Retries += fl.retries
+	start := m.stats.Cycles
 	m.stats.Cycles += res.Cycles
 	m.stats.Issued += res.Issued
 	m.record("parallel", n, res.Cycles, res.Issued)
+	if m.sink != nil {
+		m.emitRegion("parallel", n, start, fluid, res, fl, trace.CatMemStall, samples)
+	}
 	if recording {
 		m.recorded = append(m.recorded, RecordedRegion{Items: itemTraces, Cycles: res.Cycles, Issued: res.Issued})
 	}
@@ -637,21 +655,31 @@ func (m *Machine) Serial(body func(t *Thread)) {
 	t := Thread{m: m, tl: m.region}
 	body(&t)
 	it := t.item(m.cfg)
-	floor, retries := m.regionFloor()
-	cycles := it.Crit
-	if floor > cycles {
+	fl := m.regionFloors()
+	fluid := it.Crit
+	cycles := fluid
+	if floor := fl.max(); floor > cycles {
 		cycles = floor
 	}
 	m.commitRegion()
-	m.stats.Retries += retries
+	m.stats.Retries += fl.retries
+	start := m.stats.Cycles
 	m.stats.Cycles += cycles
 	m.stats.Issued += it.Issue
 	m.record("serial", 1, cycles, it.Issue)
+	if m.sink != nil {
+		res := sim.RegionResult{Cycles: cycles, Issued: it.Issue, Items: 1}
+		m.emitRegion("serial", 0, start, fluid, res, fl, trace.CatSerial, nil)
+	}
 }
 
 // Barrier charges a full-machine barrier.
 func (m *Machine) Barrier() {
 	m.stats.Barriers++
+	start := m.stats.Cycles
 	m.stats.Cycles += m.cfg.BarrierCycles
 	m.record("barrier", 0, m.cfg.BarrierCycles, 0)
+	if m.sink != nil {
+		m.emitBarrier(start)
+	}
 }

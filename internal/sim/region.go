@@ -116,8 +116,10 @@ func (p *procState) stretch() float64 {
 
 // advance moves the processor's local clocks to wall time t. Completion
 // times are reconstructed from virtual time with floating-point rounding,
-// so a tiny negative step is clamped; a large one is a model bug.
-func (p *procState) advance(t float64) {
+// so a tiny negative step is clamped; a large one is a model bug. A
+// non-nil tl additionally records the issue slots used over the step
+// into the region's timeline; it never alters the timing math.
+func (p *procState) advance(t float64, tl *IssueTimeline) {
 	if t < p.wall {
 		if p.wall-t > 1e-6*(1+p.wall) {
 			panic("sim: processor clock moved backwards")
@@ -132,6 +134,9 @@ func (p *procState) advance(t float64) {
 			used = 1
 		}
 		p.issued += dt * used
+		if tl != nil {
+			tl.add(p.wall, t, used)
+		}
 		p.wall = t
 	}
 }
@@ -172,6 +177,21 @@ const inf = 1e300
 // streams pick up new work according to sched, and each processor's issue
 // slot is a processor-sharing resource (see the package comment).
 func RunRegion(procs, streamsPerProc int, items []Item, sched Sched) RegionResult {
+	return runRegion(procs, streamsPerProc, items, sched, nil)
+}
+
+// RunRegionTimeline is RunRegion with an issue-slot timeline: tl.Used
+// accumulates, per tl.Interval-cycle bucket, the issue slots the region
+// consumes. The returned RegionResult is bit-identical to RunRegion's —
+// the timeline only observes.
+func RunRegionTimeline(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTimeline) RegionResult {
+	if tl == nil || tl.Interval <= 0 {
+		panic("sim: RunRegionTimeline needs a timeline with a positive interval")
+	}
+	return runRegion(procs, streamsPerProc, items, sched, tl)
+}
+
+func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTimeline) RegionResult {
 	if procs <= 0 || streamsPerProc <= 0 {
 		panic("sim: region needs at least one processor and one stream")
 	}
@@ -238,7 +258,7 @@ func RunRegion(procs, streamsPerProc int, items []Item, sched Sched) RegionResul
 		}
 		now = bestT
 		p := &ps[best]
-		p.advance(now)
+		p.advance(now, tl)
 		f := p.inflight.pop()
 		p.demand -= f.demand
 		if p.demand < 1e-12 {
@@ -251,7 +271,7 @@ func RunRegion(procs, streamsPerProc int, items []Item, sched Sched) RegionResul
 	}
 	var issued float64
 	for i := range ps {
-		ps[i].advance(now)
+		ps[i].advance(now, tl)
 		issued += ps[i].issued
 	}
 	return RegionResult{Cycles: now, Issued: issued, Items: n}

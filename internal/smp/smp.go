@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"pargraph/internal/par"
+	"pargraph/internal/trace"
 )
 
 // Config describes an SMP machine instance.
@@ -225,6 +226,11 @@ type Machine struct {
 
 	tracing bool
 	trace   []PhaseStat
+
+	// Attribution-event sink (internal/trace); nil means tracing is off
+	// and phases pay only a nil check. evSeq numbers emitted events.
+	sink  trace.Sink
+	evSeq int
 }
 
 // New constructs a machine. It panics on an invalid configuration.
@@ -277,6 +283,7 @@ func (m *Machine) Seconds() float64 { return m.stats.Cycles / (m.cfg.ClockMHz * 
 func (m *Machine) Reset() {
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
+	m.evSeq = 0
 	for _, p := range m.procs {
 		p.l1.invalidateAll()
 		p.l2.invalidateAll()
@@ -355,7 +362,14 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 	// accumulation order as serial replay.
 	maxCycles := 0.0
 	var bytes float64
-	for _, p := range m.procs {
+	var procBusy []float64
+	if m.sink != nil {
+		procBusy = make([]float64, len(m.procs))
+	}
+	for i, p := range m.procs {
+		if procBusy != nil {
+			procBusy[i] = p.cycles
+		}
 		if p.cycles > maxCycles {
 			maxCycles = p.cycles
 		}
@@ -369,13 +383,19 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 		p.l1Hits, p.l2Hits, p.misses, p.loads, p.stores, p.computes = 0, 0, 0, 0, 0, 0
 	}
 	phase := maxCycles + m.cfg.PhaseCy
+	busStall := 0.0
 	if busTime := bytes / m.cfg.BusBPC; busTime > phase {
-		m.stats.BusStall += busTime - phase
+		busStall = busTime - phase
+		m.stats.BusStall += busStall
 		phase = busTime
 	}
 	m.stats.BusBytes += bytes
+	start := m.stats.Cycles
 	m.stats.Cycles += phase
 	m.record("phase", before)
+	if m.sink != nil {
+		m.emitPhase(start, phase, maxCycles, busStall, before, procBusy)
+	}
 }
 
 // Sequential runs body on processor 0 only — a serial section.
@@ -384,11 +404,10 @@ func (m *Machine) Sequential(body func(p *Proc)) {
 	p := m.procs[0]
 	p.cycles, p.busBytes = 0, 0
 	body(p)
-	if busTime := p.busBytes / m.cfg.BusBPC; busTime > p.cycles {
-		m.stats.BusStall += busTime - p.cycles
-		m.stats.Cycles += busTime
-	} else {
-		m.stats.Cycles += p.cycles
+	cycles := p.cycles
+	if busTime := p.busBytes / m.cfg.BusBPC; busTime > cycles {
+		m.stats.BusStall += busTime - cycles
+		cycles = busTime
 	}
 	m.stats.BusBytes += p.busBytes
 	m.stats.L1Hits += p.l1Hits
@@ -398,7 +417,12 @@ func (m *Machine) Sequential(body func(p *Proc)) {
 	m.stats.Stores += p.stores
 	m.stats.Computes += p.computes
 	p.l1Hits, p.l2Hits, p.misses, p.loads, p.stores, p.computes = 0, 0, 0, 0, 0, 0
+	start := m.stats.Cycles
+	m.stats.Cycles += cycles
 	m.record("sequential", before)
+	if m.sink != nil {
+		m.emitSequential(start, cycles, before)
+	}
 }
 
 // Barrier charges one software barrier: a base cost plus a per-processor
@@ -406,8 +430,13 @@ func (m *Machine) Sequential(body func(p *Proc)) {
 func (m *Machine) Barrier() {
 	before := m.stats
 	m.stats.Barriers++
-	m.stats.Cycles += m.cfg.BarrierCy + m.cfg.BarrierPP*float64(m.cfg.Procs)
+	cy := m.cfg.BarrierCy + m.cfg.BarrierPP*float64(m.cfg.Procs)
+	start := m.stats.Cycles
+	m.stats.Cycles += cy
 	m.record("barrier", before)
+	if m.sink != nil {
+		m.emitBarrier(start, cy)
+	}
 }
 
 // MissRatio returns references served by memory divided by all

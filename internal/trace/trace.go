@@ -1,0 +1,182 @@
+// Package trace is the deterministic observability layer shared by the
+// two machine models (internal/mta and internal/smp). A machine with a
+// Sink attached emits one Event per simulated region — parallel loop,
+// phase, serial section, or barrier — carrying that region's cycle
+// attribution: where, inside the region, the machine's issue-slot (or
+// processor-cycle) capacity went. The paper's argument is exactly such
+// an attribution claim — SMP time is lost to cache misses, MTA time is a
+// function of parallelism — and the per-region breakdown is what lets
+// EXPERIMENTS.md E3/E5/E6 reason about phases instead of whole runs.
+//
+// Events are emitted at region commit, on the host goroutine that owns
+// the machine, after the deterministic worker-tally merge — so a trace
+// is bit-identical for any SetHostWorkers value, the same guarantee the
+// simulated Stats carry. With no sink attached the machines skip all
+// event construction; the cost is one nil check per region.
+//
+// The Recorder sink renders three artifacts:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace), loadable in
+//     about://tracing or https://ui.perfetto.dev, one track per
+//     simulated processor;
+//   - a per-region attribution table (WriteAttribution, CSV and JSON
+//     variants) with one column per category;
+//   - a utilization timeline (WriteTimeline), bucketed over simulated
+//     cycles, using within-region samples where the machine recorded
+//     them (see mta.Machine.SetTraceSampling) and flat region averages
+//     elsewhere.
+package trace
+
+// Event is one traced region of a simulated machine's execution.
+//
+// Attribution is in slot-cycles: one slot-cycle is one issue slot on one
+// processor for one cycle (MTA) or one processor-cycle (SMP), so the
+// categories of a region sum to Cycles × Procs, the region's capacity.
+type Event struct {
+	Machine string // "MTA" or "SMP"
+	Kind    string // "parallel", "serial", "barrier", "phase", "sequential"
+	Seq     int    // event index within the machine's run, from 0
+	Items   int    // loop iterations (parallel regions; 0 otherwise)
+
+	Start  float64 // simulated cycle at which the region begins
+	Cycles float64 // region duration in cycles
+
+	Procs    int
+	ClockMHz float64 // converts cycles to wall time for rendering
+
+	Issued float64            // slot-cycles doing useful work (issue slots / busy processor cycles)
+	Attr   map[string]float64 // category → slot-cycles; sums to Cycles*Procs
+
+	// ProcBusy, when non-nil, is each simulated processor's busy cycles
+	// within the region (SMP phases record it; the MTA's barrel
+	// processors share regions uniformly and leave it nil).
+	ProcBusy []float64
+
+	// Samples, when non-nil, is the region's within-region utilization
+	// timeline: Samples[k] is the slot-cycles consumed during
+	// [Start+k·SampleCy, Start+(k+1)·SampleCy). Recorded only on the
+	// MTA's exact path when sampling is configured; the stall-floor
+	// stretch at the end of a floored region is not sampled.
+	Samples  []float64
+	SampleCy float64
+}
+
+// Utilization is the fraction of the region's slot capacity that did
+// useful work.
+func (e Event) Utilization() float64 {
+	if e.Cycles <= 0 || e.Procs <= 0 {
+		return 0
+	}
+	return e.Issued / (e.Cycles * float64(e.Procs))
+}
+
+// Sink receives events as a machine executes. Implementations must not
+// retain the Attr map beyond the call unless they own it; machines
+// allocate a fresh map per event, so retaining (as Recorder does) is
+// safe.
+type Sink interface {
+	Emit(Event)
+}
+
+// Attribution categories. The MTA set follows §2.2's cost terms: issue
+// slots doing work, slots idle while memory latency goes unhidden, and
+// region stretch from bank conflicts or full/empty-bit (and shared
+// counter) hotspots. The SMP set follows the cache-hierarchy view of
+// §2.1: cycles split by which level served each reference, plus the
+// shared-bus and synchronization costs.
+const (
+	// Shared.
+	CatIssue   = "issue"   // MTA: issue slots consumed doing work
+	CatSerial  = "serial"  // capacity idle because one thread/processor runs
+	CatBarrier = "barrier" // capacity spent in a barrier
+
+	// MTA.
+	CatMemStall  = "mem_stall"  // slots idle: memory latency not hidden (incl. end-of-loop tail)
+	CatBankStall = "bank_stall" // region stretched by memory-bank conflicts
+	CatHotspot   = "hotspot"    // region stretched by a FEB or fetch-add hotspot word
+
+	// SMP.
+	CatCompute   = "compute"   // ALU cycles
+	CatL1        = "l1"        // cycles in references served by L1
+	CatL2        = "l2"        // cycles in references served by L2
+	CatMem       = "mem"       // cycles in references served by main memory
+	CatImbalance = "imbalance" // processors idle waiting for the phase's slowest
+	CatDispatch  = "dispatch"  // per-phase parallel dispatch overhead
+	CatBusStall  = "bus_stall" // phase stretched past compute time by bus saturation
+)
+
+// CategoryDesc names one attribution category.
+type CategoryDesc struct {
+	Name    string
+	Meaning string
+}
+
+// Categories returns the attribution categories a machine's events use,
+// in the canonical order tables render them. machine is "MTA" or "SMP";
+// anything else returns the union.
+func Categories(machine string) []CategoryDesc {
+	mta := []CategoryDesc{
+		{CatIssue, "issue slots consumed doing work"},
+		{CatMemStall, "issue slots idle: memory latency not hidden (incl. loop tails)"},
+		{CatBankStall, "region stretched by memory-bank conflicts"},
+		{CatHotspot, "region stretched by a FEB/fetch-add hotspot word"},
+		{CatSerial, "capacity idle during a serial section"},
+		{CatBarrier, "capacity spent in barriers"},
+	}
+	smp := []CategoryDesc{
+		{CatCompute, "ALU cycles"},
+		{CatL1, "cycles in references served by L1"},
+		{CatL2, "cycles in references served by L2"},
+		{CatMem, "cycles in references served by main memory"},
+		{CatImbalance, "processors idle waiting for the phase's slowest"},
+		{CatDispatch, "per-phase parallel dispatch overhead"},
+		{CatBusStall, "phase stretched by bus saturation"},
+		{CatSerial, "capacity idle during a sequential section"},
+		{CatBarrier, "capacity spent in software barriers"},
+	}
+	switch machine {
+	case "MTA":
+		return mta
+	case "SMP":
+		return smp
+	}
+	out := append([]CategoryDesc(nil), mta...)
+	seen := make(map[string]bool, len(mta))
+	for _, c := range mta {
+		seen[c.Name] = true
+	}
+	for _, c := range smp {
+		if !seen[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Recorder is the standard Sink: it retains every event for rendering.
+// It is not safe for concurrent use — machines emit from the single
+// goroutine that runs the kernel, and one Recorder may be shared by
+// several machines run in sequence (as the harness does), in which case
+// the trace interleaves their events in run order.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) { r.Events = append(r.Events, ev) }
+
+// Reset drops all recorded events, keeping capacity.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// machines returns the distinct machine names in event order.
+func (r *Recorder) machines() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, e := range r.Events {
+		if !seen[e.Machine] {
+			seen[e.Machine] = true
+			out = append(out, e.Machine)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{
+			Machine: "MTA", Kind: "parallel", Seq: 0, Items: 100,
+			Start: 0, Cycles: 200, Procs: 2, ClockMHz: 220,
+			Issued: 300,
+			Attr:   map[string]float64{CatIssue: 300, CatMemStall: 100},
+			Samples: []float64{
+				160, 140,
+			},
+			SampleCy: 100,
+		},
+		{
+			Machine: "MTA", Kind: "serial", Seq: 1,
+			Start: 200, Cycles: 50, Procs: 2, ClockMHz: 220,
+			Issued: 50,
+			Attr:   map[string]float64{CatIssue: 50, CatSerial: 50},
+		},
+		{
+			Machine: "SMP", Kind: "phase", Seq: 0, Items: 100,
+			Start: 0, Cycles: 100, Procs: 2, ClockMHz: 400,
+			Issued:   150,
+			Attr:     map[string]float64{CatCompute: 90, CatL1: 60, CatImbalance: 30, CatDispatch: 20},
+			ProcBusy: []float64{80, 70},
+		},
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	ev := sampleEvents()[0]
+	if got := ev.Utilization(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.75", got)
+	}
+	if got := (Event{}).Utilization(); got != 0 {
+		t.Errorf("empty event utilization = %v, want 0", got)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	for _, machine := range []string{"MTA", "SMP"} {
+		seen := make(map[string]bool)
+		for _, c := range Categories(machine) {
+			if seen[c.Name] {
+				t.Errorf("%s: duplicate category %q", machine, c.Name)
+			}
+			seen[c.Name] = true
+			if c.Meaning == "" {
+				t.Errorf("%s: category %q has no description", machine, c.Name)
+			}
+		}
+	}
+	union := Categories("")
+	for _, machine := range []string{"MTA", "SMP"} {
+		for _, c := range Categories(machine) {
+			found := false
+			for _, u := range union {
+				if u.Name == c.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("union misses %s category %q", machine, c.Name)
+			}
+		}
+	}
+}
+
+func TestRecorderResetKeepsNothing(t *testing.T) {
+	rec := &Recorder{}
+	for _, e := range sampleEvents() {
+		rec.Emit(e)
+	}
+	if len(rec.Events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(rec.Events))
+	}
+	if got := rec.machines(); len(got) != 2 || got[0] != "MTA" || got[1] != "SMP" {
+		t.Fatalf("machines() = %v, want [MTA SMP]", got)
+	}
+	rec.Reset()
+	if len(rec.Events) != 0 {
+		t.Fatalf("Reset left %d events", len(rec.Events))
+	}
+}
+
+func TestTimelinesConserveSlotCycles(t *testing.T) {
+	rec := &Recorder{Events: sampleEvents()}
+	for _, tl := range rec.Timelines(64) {
+		var used, capacity, wantUsed, wantCap float64
+		for k := range tl.Capacity {
+			used += tl.Used[k]
+			capacity += tl.Capacity[k]
+			if tl.Used[k] > tl.Capacity[k]+1e-9 {
+				t.Errorf("%s bucket %d: used %v exceeds capacity %v", tl.Machine, k, tl.Used[k], tl.Capacity[k])
+			}
+		}
+		for _, e := range rec.Events {
+			if e.Machine != tl.Machine {
+				continue
+			}
+			wantUsed += e.Issued
+			wantCap += e.Cycles * float64(e.Procs)
+		}
+		if math.Abs(used-wantUsed) > 1e-9 {
+			t.Errorf("%s: bucketed used %v, events hold %v", tl.Machine, used, wantUsed)
+		}
+		if math.Abs(capacity-wantCap) > 1e-9 {
+			t.Errorf("%s: bucketed capacity %v, events hold %v", tl.Machine, capacity, wantCap)
+		}
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	rec := &Recorder{Events: sampleEvents()}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var slices, counters, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if slices == 0 || meta == 0 {
+		t.Fatalf("trace has %d slices, %d metadata events; want both > 0", slices, meta)
+	}
+	if counters == 0 {
+		t.Fatal("sampled region produced no counter events")
+	}
+}
+
+func TestWriteAttributionCSVShape(t *testing.T) {
+	rec := &Recorder{Events: sampleEvents()}
+	var buf bytes.Buffer
+	if err := rec.WriteAttributionCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want header + rows", len(lines))
+	}
+	header := lines[0]
+	cols := len(strings.Split(header, ","))
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != cols {
+			t.Errorf("row %d has %d columns, header has %d", i+1, got, cols)
+		}
+	}
+}
