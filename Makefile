@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-simulators verify
+.PHONY: build test race vet bench-simulators check-host-scaling verify
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,7 @@ test:
 
 # Race-check the simulator packages and the kernels that replay on them.
 race:
-	$(GO) test -race ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
+	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
 
 vet:
 	$(GO) vet ./...
@@ -19,5 +19,11 @@ vet:
 # and the SetHostWorkers scaling sweep).
 bench-simulators:
 	sh scripts/bench_simulators.sh
+
+# Fail if workers=4 replay is >25% slower than workers=1 (the inverted
+# scaling shape the worker cap and pooled dispatch fixed; the band allows
+# for shared-machine benchmark noise).
+check-host-scaling:
+	sh scripts/check_host_scaling.sh
 
 verify: vet build test

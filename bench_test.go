@@ -232,12 +232,14 @@ func BenchmarkSimulatorSMP(b *testing.B) {
 // BenchmarkHostScaling sweeps the host worker count over the two
 // simulator engines on a body-heavy workload (a 2^20-node random list:
 // the walk regions dominate and shard well). scripts/bench_simulators.sh
-// turns the output into BENCH_simulators.json.
+// turns the output into BENCH_simulators.json. Replay caps the worker
+// count at GOMAXPROCS, so on a machine with fewer cores than the swept
+// count the curve goes flat instead of inverting.
 func BenchmarkHostScaling(b *testing.B) {
 	const n = 1 << 20
 	l := list.New(n, list.Random, 1)
-	workers := []int{1, 2, 4}
-	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 {
+	workers := []int{1, 2, 4, 8}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 && ncpu != 8 {
 		workers = append(workers, ncpu)
 	}
 	for _, w := range workers {

@@ -53,10 +53,8 @@ func LabelMTA(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 {
 			if k&1 == 1 {
 				u, v = v, u
 			}
-			t.Load(mtaEdgeBase + uint64(k))
-			t.Load(mtaDBase + uint64(u))
-			t.LoadDep(mtaDBase + uint64(v))
-			t.LoadDep(mtaDBase + uint64(d[v]))
+			t.Load2(mtaEdgeBase+uint64(k), mtaDBase+uint64(u))
+			t.LoadDep2(mtaDBase+uint64(v), mtaDBase+uint64(d[v]))
 			t.Instr(4)
 			if d[u] < d[v] && d[v] == d[d[v]] {
 				t.Store(mtaDBase + uint64(d[v]))

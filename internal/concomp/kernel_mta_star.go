@@ -52,10 +52,8 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 			if k&1 == 1 {
 				u, v = v, u
 			}
-			t.Load(mtaEdgeBase + uint64(k))
-			t.Load(mtaDBase + uint64(u))
-			t.LoadDep(mtaDBase + uint64(v))
-			t.LoadDep(mtaDBase + uint64(d[v]))
+			t.Load2(mtaEdgeBase+uint64(k), mtaDBase+uint64(u))
+			t.LoadDep2(mtaDBase+uint64(v), mtaDBase+uint64(d[v]))
 			t.Instr(4)
 			if d[u] < d[v] && d[v] == d[d[v]] {
 				t.Store(mtaDBase + uint64(d[v]))
@@ -74,8 +72,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 		})
 		m.Barrier()
 		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
-			t.LoadDep(mtaDBase + uint64(i))
-			t.LoadDep(mtaDBase + uint64(d[i]))
+			t.LoadDep2(mtaDBase+uint64(i), mtaDBase+uint64(d[i]))
 			t.Instr(2)
 			if d[i] != d[d[i]] {
 				t.Store(mtaStarBase + uint64(i))
@@ -86,8 +83,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 		})
 		m.Barrier()
 		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
-			t.LoadDep(mtaDBase + uint64(i))
-			t.LoadDep(mtaStarBase + uint64(d[i]))
+			t.LoadDep2(mtaDBase+uint64(i), mtaStarBase+uint64(d[i]))
 			t.Instr(1)
 			if !star[d[i]] {
 				t.Store(mtaStarBase + uint64(i))
@@ -103,8 +99,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 			if k&1 == 1 {
 				u, v = v, u
 			}
-			t.Load(mtaEdgeBase + uint64(k))
-			t.Load(mtaStarBase + uint64(u))
+			t.Load2(mtaEdgeBase+uint64(k), mtaStarBase+uint64(u))
 			t.Instr(2)
 			if !star[u] {
 				return
@@ -122,8 +117,7 @@ func LabelMTAStarCheck(g *graph.Graph, m *mta.Machine, sched sim.Sched) []int32 
 
 		// Step 3: a single pointer-jump shortcut.
 		m.ParallelForOrdered(n, sched, func(i int, t *mta.Thread) {
-			t.LoadDep(mtaDBase + uint64(i))
-			t.LoadDep(mtaDBase + uint64(d[i]))
+			t.LoadDep2(mtaDBase+uint64(i), mtaDBase+uint64(d[i]))
 			t.Instr(1)
 			if ddi := d[d[i]]; ddi != d[i] {
 				t.Store(mtaDBase + uint64(i))

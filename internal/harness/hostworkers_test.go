@@ -14,12 +14,29 @@ import (
 	"pargraph/internal/smp"
 )
 
+// workerSweep is every non-serial worker count the determinism tests
+// compare against the serial baseline — the same counts the scaling
+// benchmark measures.
+var workerSweep = []int{2, 4, 8}
+
+// forceHostParallelism raises GOMAXPROCS for the duration of a test.
+// The machines cap their replay worker count at GOMAXPROCS, so on a
+// small CI machine the sharded paths these tests exist to exercise would
+// otherwise silently collapse to serial replay.
+func forceHostParallelism(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // TestHostWorkersDeterminism asserts the tentpole invariant on the
 // paper's own kernels: simulated Cycles, Issued, and the full Stats
-// struct are bit-identical for SetHostWorkers(1) and SetHostWorkers(8)
-// across the Fig. 1 (list ranking) and Fig. 2 (connected components)
-// kernels, on ordered and random workloads, for both machine models.
+// struct are bit-identical for SetHostWorkers(1) and every swept worker
+// count across the Fig. 1 (list ranking) and Fig. 2 (connected
+// components) kernels, on ordered and random workloads, for both machine
+// models.
 func TestHostWorkersDeterminism(t *testing.T) {
+	forceHostParallelism(t, 8)
 	const (
 		listN  = 30000 // large enough that the walk regions shard
 		graphN = 4096
@@ -36,11 +53,13 @@ func TestHostWorkersDeterminism(t *testing.T) {
 			return m.Stats(), rank
 		}
 		wantS, wantR := runMTA(1)
-		gotS, gotR := runMTA(8)
-		if gotS != wantS {
-			t.Errorf("RankMTA %v: stats diverge at 8 workers:\n got %+v\nwant %+v", layout, gotS, wantS)
+		for _, w := range workerSweep {
+			gotS, gotR := runMTA(w)
+			if gotS != wantS {
+				t.Errorf("RankMTA %v: stats diverge at %d workers:\n got %+v\nwant %+v", layout, w, gotS, wantS)
+			}
+			assertSameRanks(t, fmt.Sprintf("RankMTA %v workers=%d", layout, w), wantR, gotR)
 		}
-		assertSameRanks(t, fmt.Sprintf("RankMTA %v", layout), wantR, gotR)
 
 		runSMP := func(w int) (smp.Stats, []int64) {
 			m := smp.New(smp.DefaultConfig(8))
@@ -49,11 +68,13 @@ func TestHostWorkersDeterminism(t *testing.T) {
 			return m.Stats(), rank
 		}
 		wantS2, wantR2 := runSMP(1)
-		gotS2, gotR2 := runSMP(8)
-		if gotS2 != wantS2 {
-			t.Errorf("RankSMP %v: stats diverge at 8 workers:\n got %+v\nwant %+v", layout, gotS2, wantS2)
+		for _, w := range workerSweep {
+			gotS2, gotR2 := runSMP(w)
+			if gotS2 != wantS2 {
+				t.Errorf("RankSMP %v: stats diverge at %d workers:\n got %+v\nwant %+v", layout, w, gotS2, wantS2)
+			}
+			assertSameRanks(t, fmt.Sprintf("RankSMP %v workers=%d", layout, w), wantR2, gotR2)
 		}
-		assertSameRanks(t, fmt.Sprintf("RankSMP %v", layout), wantR2, gotR2)
 	}
 
 	// Fig. 2 kernels on a random graph and a mesh (the "ordered" layout
@@ -68,8 +89,11 @@ func TestHostWorkersDeterminism(t *testing.T) {
 			concomp.LabelMTA(g, m, sim.SchedDynamic)
 			return m.Stats()
 		}
-		if want, got := runMTA(1), runMTA(8); got != want {
-			t.Errorf("LabelMTA %s: stats diverge at 8 workers:\n got %+v\nwant %+v", name, got, want)
+		wantM := runMTA(1)
+		for _, w := range workerSweep {
+			if got := runMTA(w); got != wantM {
+				t.Errorf("LabelMTA %s: stats diverge at %d workers:\n got %+v\nwant %+v", name, w, got, wantM)
+			}
 		}
 		runSMP := func(w int) smp.Stats {
 			m := smp.New(smp.DefaultConfig(8))
@@ -77,8 +101,11 @@ func TestHostWorkersDeterminism(t *testing.T) {
 			concomp.LabelSMP(g, m)
 			return m.Stats()
 		}
-		if want, got := runSMP(1), runSMP(8); got != want {
-			t.Errorf("LabelSMP %s: stats diverge at 8 workers:\n got %+v\nwant %+v", name, got, want)
+		wantP := runSMP(1)
+		for _, w := range workerSweep {
+			if got := runSMP(w); got != wantP {
+				t.Errorf("LabelSMP %s: stats diverge at %d workers:\n got %+v\nwant %+v", name, w, got, wantP)
+			}
 		}
 	}
 }
@@ -91,6 +118,7 @@ func TestHostWorkersDeterminismAggregatePath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("aggregate-path determinism sweep skipped in -short mode")
 	}
+	forceHostParallelism(t, 8)
 	const n = 150000 // > the machines' 1<<17 exact cutoff
 	l := list.New(n, list.Random, 0x33)
 	run := func(w int) mta.Stats {
@@ -100,7 +128,7 @@ func TestHostWorkersDeterminismAggregatePath(t *testing.T) {
 		return m.Stats()
 	}
 	want := run(1)
-	for _, w := range []int{2, 8} {
+	for _, w := range workerSweep {
 		if got := run(w); got != want {
 			t.Errorf("workers=%d: aggregate-path stats diverge:\n got %+v\nwant %+v", w, got, want)
 		}
@@ -115,6 +143,7 @@ func TestHostWorkersRaceClean(t *testing.T) {
 	if workers < 2 {
 		workers = 2
 	}
+	forceHostParallelism(t, workers)
 
 	const n = 20000
 	l := list.New(n, list.Random, 0x44)

@@ -40,6 +40,7 @@ func profileArtifacts(t *testing.T, params ProfileParams, workers int) (chrome, 
 }
 
 func TestTraceWorkerDeterminism(t *testing.T) {
+	forceHostParallelism(t, 8)
 	cases := []ProfileParams{
 		{Kernel: "fig1", Machine: "both", N: 30000, Procs: 8, Layout: list.Random, Seed: 0x51, SampleCycles: 500},
 		{Kernel: "fig2", Machine: "both", N: 4096, Procs: 8, Seed: 0x52, SampleCycles: 1000},
@@ -47,15 +48,17 @@ func TestTraceWorkerDeterminism(t *testing.T) {
 	for _, params := range cases {
 		t.Run(params.Kernel, func(t *testing.T) {
 			chrome1, csv1 := profileArtifacts(t, params, 1)
-			chrome8, csv8 := profileArtifacts(t, params, 8)
-			if !bytes.Equal(chrome1, chrome8) {
-				t.Error("Chrome trace differs between workers=1 and workers=8")
-			}
-			if !bytes.Equal(csv1, csv8) {
-				t.Error("attribution CSV differs between workers=1 and workers=8")
-			}
 			if len(chrome1) == 0 || len(csv1) == 0 {
 				t.Fatal("empty artifacts")
+			}
+			for _, w := range []int{2, 4, 8} {
+				chromeW, csvW := profileArtifacts(t, params, w)
+				if !bytes.Equal(chrome1, chromeW) {
+					t.Errorf("Chrome trace differs between workers=1 and workers=%d", w)
+				}
+				if !bytes.Equal(csv1, csvW) {
+					t.Errorf("attribution CSV differs between workers=1 and workers=%d", w)
+				}
 			}
 		})
 	}

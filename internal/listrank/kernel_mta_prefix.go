@@ -66,13 +66,13 @@ func PrefixMTA(l *list.List, vals []int64, m *mta.Machine, nwalk int, sched sim.
 			if c > int64(n) {
 				panic("listrank: list contains a cycle")
 			}
-			t.LoadDep(mtaSuccBase + uint64(j))
 			nx := l.Succ[j]
 			if nx == list.NilNext {
+				t.LoadDep(mtaSuccBase + uint64(j))
 				nextWalk[i] = -1
 				break
 			}
-			t.LoadDep(mtaRankBase + uint64(nx))
+			t.LoadDep2(mtaSuccBase+uint64(j), mtaRankBase+uint64(nx))
 			t.Instr(2)
 			if out[nx] != rankSentinel {
 				nextWalk[i] = int32(out[nx])

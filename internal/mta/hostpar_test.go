@@ -1,10 +1,21 @@
 package mta
 
 import (
+	"runtime"
 	"testing"
 
 	"pargraph/internal/sim"
 )
+
+// forceHostParallelism raises GOMAXPROCS for the duration of a test.
+// Replay caps its worker count at GOMAXPROCS, so on a small CI machine
+// the sharded paths these tests exist to exercise would otherwise
+// silently collapse to serial replay.
+func forceHostParallelism(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // chargeBody is a synthetic data-parallel region body that exercises
 // every charge kind, including the FEB hot-word tally.
@@ -38,6 +49,7 @@ func runCharged(workers, n int, sched sim.Sched) *Machine {
 // exact-path region (n <= maxExact) produces bit-identical stats for
 // worker counts 1, 2, and 8, under both schedules.
 func TestHostWorkersInvariantExact(t *testing.T) {
+	forceHostParallelism(t, 8)
 	const n = 10 * shardChunk // well past shardMinN, still exact
 	for _, sched := range []sim.Sched{sim.SchedDynamic, sim.SchedBlock} {
 		want := runCharged(1, n, sched).Stats()
@@ -53,6 +65,7 @@ func TestHostWorkersInvariantExact(t *testing.T) {
 // aggregate path (n > maxExact), whose floating-point issue/crit totals
 // must be summed in chunk order to stay worker-count-invariant.
 func TestHostWorkersInvariantAggregate(t *testing.T) {
+	forceHostParallelism(t, 8)
 	run := func(workers int) Stats {
 		m := New(DefaultConfig(4))
 		m.maxExact = 4 * shardChunk // force the aggregate path cheaply
@@ -78,6 +91,7 @@ func TestHostWorkersInvariantAggregate(t *testing.T) {
 // configured — it is the escape hatch for bodies that communicate
 // through shared data, so it must never run concurrently.
 func TestParallelForOrderedStaysSerial(t *testing.T) {
+	forceHostParallelism(t, 8)
 	m := New(DefaultConfig(2))
 	m.SetHostWorkers(8)
 	const n = 3 * shardMinN
@@ -128,6 +142,7 @@ func TestResetClearsRecording(t *testing.T) {
 // TestWorkerPanicPropagates checks a panic in a sharded body reaches the
 // caller, as it does on the serial path.
 func TestWorkerPanicPropagates(t *testing.T) {
+	forceHostParallelism(t, 4)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("worker panic did not propagate")

@@ -33,6 +33,7 @@ package mta
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"pargraph/internal/par"
@@ -113,51 +114,6 @@ type Stats struct {
 	BankStalls  float64 // cycles regions were stretched by bank conflicts
 }
 
-// tally is one replay worker's region-scoped accounting: everything a
-// kernel body charges that is additive across iterations. Each host
-// worker charges a private tally; merging them (integer adds and
-// elementwise vector adds) is order-independent, which is what keeps the
-// simulated results identical for any worker count.
-type tally struct {
-	refs      int64
-	instrs    int64
-	fetchAdds int64
-	syncOps   int64
-	ctrGrabs  int64 // grabs of the shared dynamic-schedule counter
-	bankRefs  []int64
-	hotWords  map[uint64]int64
-}
-
-func newTally(banks int) *tally {
-	return &tally{bankRefs: make([]int64, banks), hotWords: make(map[uint64]int64)}
-}
-
-// reset zeroes the tally in place; the bank vector and hot-word map are
-// reused across regions instead of being reallocated.
-func (a *tally) reset() {
-	a.refs, a.instrs, a.fetchAdds, a.syncOps, a.ctrGrabs = 0, 0, 0, 0, 0
-	for i := range a.bankRefs {
-		a.bankRefs[i] = 0
-	}
-	clear(a.hotWords)
-}
-
-// merge folds b into a. All fields are counts, so the result does not
-// depend on merge order.
-func (a *tally) merge(b *tally) {
-	a.refs += b.refs
-	a.instrs += b.instrs
-	a.fetchAdds += b.fetchAdds
-	a.syncOps += b.syncOps
-	a.ctrGrabs += b.ctrGrabs
-	for i, c := range b.bankRefs {
-		a.bankRefs[i] += c
-	}
-	for w, c := range b.hotWords {
-		a.hotWords[w] += c
-	}
-}
-
 // Machine is a simulated MTA. The simulated timing is deterministic; with
 // SetHostWorkers(w > 1) the replay of data-parallel regions is sharded
 // across host goroutines, but a Machine still serves one kernel at a
@@ -166,7 +122,17 @@ type Machine struct {
 	cfg   Config
 	stats Stats
 
+	// bankMask is Banks-1 when Banks is a power of two, letting bankOf
+	// replace the modulo with a mask; 0 selects the modulo fallback.
+	bankMask uint64
+
 	hostWorkers int
+	// pool holds the parked host workers for sharded replay. It is
+	// created lazily by the first region that shards, resized by
+	// SetHostWorkers, and survives Reset (parked workers are reused, not
+	// stranded: the pool's finalizer releases them if the Machine itself
+	// is dropped).
+	pool *par.Pool
 
 	// Per-region scratch, reset by ParallelFor/Serial. region is the
 	// merged accounting for the current region; wtallies are the pooled
@@ -179,9 +145,7 @@ type Machine struct {
 	// Pooled per-chunk partial sums for the aggregate (n > maxExact)
 	// path. Summing chunk partials in chunk-index order makes the
 	// floating-point totals independent of the worker count.
-	chunkIssue []float64
-	chunkCrit  []float64
-	chunkMax   []float64
+	chunkParts []chunkPartial
 
 	tracing bool
 	trace   []RegionStat
@@ -206,29 +170,64 @@ const (
 	shardMinN  = 2048
 )
 
+// chunkPartial is one chunk's partial sums on the aggregate path, padded
+// to a 64-byte cache line. Adjacent chunks are usually replayed by
+// different workers; without the padding their writes false-share lines
+// and the sharded replay serializes on cache-coherence traffic.
+type chunkPartial struct {
+	issue, crit, max float64
+	_                [5]float64
+}
+
 // New constructs a machine. It panics on an invalid configuration, which
 // is always a programming error at experiment-setup time.
 func New(cfg Config) *Machine {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:         cfg,
 		hostWorkers: 1,
 		region:      newTally(cfg.Banks),
 		maxExact:    1 << 17,
 	}
+	if b := uint64(cfg.Banks); b&(b-1) == 0 {
+		m.bankMask = b - 1
+	}
+	return m
 }
 
 // SetHostWorkers sets how many host goroutines replay data-parallel
 // regions. The default 1 replays serially; any value yields identical
-// simulated results. Values below 1 are treated as 1. Call it between
-// regions, not from inside a kernel body.
+// simulated results. Values below 1 are treated as 1. At replay time the
+// count is capped at runtime.GOMAXPROCS(0): workers the scheduler cannot
+// actually run in parallel would only add dispatch overhead. Call it
+// between regions, not from inside a kernel body.
 func (m *Machine) SetHostWorkers(w int) {
 	if w < 1 {
 		w = 1
 	}
 	m.hostWorkers = w
+	if m.pool == nil {
+		return
+	}
+	if eff := effectiveWorkers(w); eff == 1 {
+		// Serial replay never dispatches, so release the parked helpers
+		// rather than leaving them idle.
+		m.pool.Close()
+		m.pool = nil
+	} else {
+		m.pool.Resize(eff)
+	}
+}
+
+// effectiveWorkers caps a requested host worker count at the parallelism
+// the Go scheduler can actually deliver.
+func effectiveWorkers(w int) int {
+	if max := runtime.GOMAXPROCS(0); w > max {
+		return max
+	}
+	return w
 }
 
 // HostWorkers returns the configured host worker count.
@@ -244,7 +243,9 @@ func (m *Machine) Stats() Stats { return m.stats }
 // configuration and host worker count: it clears accumulated statistics,
 // any trace, and any region recording armed by RecordRegions (both the
 // captured regions and the recording threshold, so a reused machine does
-// not silently keep recording).
+// not silently keep recording). The host worker pool is kept too — its
+// parked goroutines are reused by the next region, not stranded or
+// respawned.
 func (m *Machine) Reset() {
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
@@ -282,6 +283,12 @@ func (m *Machine) bankOf(addr uint64) int {
 	if m.cfg.HashMemory {
 		addr = hash(addr)
 	}
+	// The default Banks = 128·procs is a power of two whenever procs is,
+	// so the charge path's hottest instruction is usually a mask, not a
+	// 64-bit modulo. The two are value-identical for power-of-two Banks.
+	if m.bankMask != 0 {
+		return int(addr & m.bankMask)
+	}
 	return int(addr % uint64(m.cfg.Banks))
 }
 
@@ -301,7 +308,7 @@ type Thread struct {
 
 func (t *Thread) chargeRef(addr uint64) {
 	t.tl.refs++
-	t.tl.bankRefs[t.m.bankOf(addr)]++
+	t.tl.addBank(t.m.bankOf(addr))
 }
 
 // Instr charges n ordinary (non-memory) instructions.
@@ -336,6 +343,51 @@ func (t *Thread) Store(addr uint64) {
 	t.recordOp(OpMemOverlap, 1)
 }
 
+// Load2 charges two independent loads in one call. It is exactly
+// Load(a1); Load(a2) — same tallies, same bank charges, and the same
+// recorded trace (recordOp coalesces consecutive same-kind ops) — but
+// pays the call and record overhead once. The hot kernel walks charge
+// two refs per native step, so halving that overhead is measurable.
+func (t *Thread) Load2(a1, a2 uint64) {
+	t.overlapRefs += 2
+	t.tl.refs += 2
+	t.tl.addBank(t.m.bankOf(a1))
+	t.tl.addBank(t.m.bankOf(a2))
+	t.recordOp(OpMemOverlap, 2)
+}
+
+// LoadDep2 charges two dependent loads in one call, identically to
+// LoadDep(a1); LoadDep(a2).
+func (t *Thread) LoadDep2(a1, a2 uint64) {
+	t.serialRefs += 2
+	t.tl.refs += 2
+	t.tl.addBank(t.m.bankOf(a1))
+	t.tl.addBank(t.m.bankOf(a2))
+	t.recordOp(OpMemDep, 2)
+}
+
+// LoadN charges n independent loads of the consecutive words addr,
+// addr+1, ..., addr+n-1, identically to n Load calls on them.
+func (t *Thread) LoadN(addr uint64, n int) {
+	t.overlapRefs += float64(n)
+	t.tl.refs += int64(n)
+	for i := 0; i < n; i++ {
+		t.tl.addBank(t.m.bankOf(addr + uint64(i)))
+	}
+	t.recordOp(OpMemOverlap, n)
+}
+
+// StoreN charges n stores of the consecutive words starting at addr,
+// identically to n Store calls on them.
+func (t *Thread) StoreN(addr uint64, n int) {
+	t.overlapRefs += float64(n)
+	t.tl.refs += int64(n)
+	for i := 0; i < n; i++ {
+		t.tl.addBank(t.m.bankOf(addr + uint64(i)))
+	}
+	t.recordOp(OpMemOverlap, n)
+}
+
 // FetchAdd charges an int_fetch_add: a one-cycle atomic at the memory
 // word, but the issuing thread still pays a round trip for the returned
 // value.
@@ -354,7 +406,7 @@ func (t *Thread) SyncLoad(addr uint64) {
 	t.tl.syncOps++
 	t.serialRefs++
 	t.chargeRef(addr)
-	t.tl.hotWords[addr]++
+	t.tl.hot.add(addr, 1)
 }
 
 // SyncStore charges a synchronized store: writeef.
@@ -363,7 +415,7 @@ func (t *Thread) SyncStore(addr uint64) {
 	t.tl.syncOps++
 	t.overlapRefs++
 	t.chargeRef(addr)
-	t.tl.hotWords[addr]++
+	t.tl.hot.add(addr, 1)
 }
 
 // item converts the tally to a schedulable item. Every memory reference
@@ -416,19 +468,8 @@ func (t *Thread) grabCounter() {
 // The trace layer uses the breakdown to name the binding floor.
 func (m *Machine) regionFloors() floors {
 	var fl floors
-	var peak int64
-	for _, c := range m.region.bankRefs {
-		if c > peak {
-			peak = c
-		}
-	}
-	fl.bank = float64(peak) * m.cfg.BankCycle
-	var hottest int64
-	for _, c := range m.region.hotWords {
-		if c > hottest {
-			hottest = c
-		}
-	}
+	fl.bank = float64(m.region.bankPeak()) * m.cfg.BankCycle
+	hottest := m.region.hot.max()
 	if hottest > 1 {
 		fl.hotspot = float64(hottest) * m.cfg.HotspotCycle
 		fl.retries = hottest - 1
@@ -527,7 +568,7 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 	}
 
 	nchunks := (n + shardChunk - 1) / shardChunk
-	w := m.hostWorkers
+	w := effectiveWorkers(m.hostWorkers)
 	if ordered || n < shardMinN {
 		w = 1
 	}
@@ -559,20 +600,19 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 			}
 		}
 	} else {
-		var cIssue, cCrit, cMax []float64
+		var parts []chunkPartial
 		if !exact {
-			if cap(m.chunkIssue) < nchunks {
-				m.chunkIssue = make([]float64, nchunks)
-				m.chunkCrit = make([]float64, nchunks)
-				m.chunkMax = make([]float64, nchunks)
+			if cap(m.chunkParts) < nchunks {
+				m.chunkParts = make([]chunkPartial, nchunks)
 			}
-			cIssue = m.chunkIssue[:nchunks]
-			cCrit = m.chunkCrit[:nchunks]
-			cMax = m.chunkMax[:nchunks]
+			parts = m.chunkParts[:nchunks]
 		}
 		tallies := m.workerTallies(w)
+		if m.pool == nil {
+			m.pool = par.NewPool(w)
+		}
 		var next atomic.Int64
-		par.Workers(w, func(worker int) {
+		m.pool.Run(w, func(worker int) {
 			tl := tallies[worker]
 			tl.reset()
 			t := Thread{m: m, tl: tl}
@@ -587,7 +627,7 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 				}
 				is, cr, mx := m.replaySpan(&t, lo, hi, sched, body, itemTraces, exact)
 				if !exact {
-					cIssue[ci], cCrit[ci], cMax[ci] = is, cr, mx
+					parts[ci] = chunkPartial{issue: is, crit: cr, max: mx}
 				}
 			}
 		})
@@ -598,11 +638,11 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 			m.region.merge(tl)
 		}
 		if !exact {
-			for ci := 0; ci < nchunks; ci++ {
-				totIssue += cIssue[ci]
-				totCrit += cCrit[ci]
-				if cMax[ci] > maxCrit {
-					maxCrit = cMax[ci]
+			for ci := range parts {
+				totIssue += parts[ci].issue
+				totCrit += parts[ci].crit
+				if parts[ci].max > maxCrit {
+					maxCrit = parts[ci].max
 				}
 			}
 		}

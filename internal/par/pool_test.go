@@ -1,0 +1,151 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunCoversWorkersExactlyOnce drives many regions through one
+// pool and checks every worker index runs exactly once per region, for
+// region widths at, below, and above the pool's size.
+func TestPoolRunCoversWorkersExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for region := 0; region < 50; region++ {
+		for _, n := range []int{1, 2, 4, 7} {
+			hits := make([]int32, n)
+			p.Run(n, func(w int) {
+				atomic.AddInt32(&hits[w], 1)
+			})
+			for w, h := range hits {
+				if h != 1 {
+					t.Fatalf("region %d n=%d: worker %d ran %d times", region, n, w, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolReusesGoroutines checks the point of the pool: repeated Runs
+// do not keep spawning goroutines.
+func TestPoolReusesGoroutines(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	p.Run(8, func(int) {}) // warm up
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		p.Run(8, func(int) {})
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d over 200 pooled regions", before, after)
+	}
+}
+
+// TestPoolPanicPropagation mirrors the Workers contract: a panic in any
+// body — helper or caller-run worker 0 — reaches the Run caller after
+// all workers finish.
+func TestPoolPanicPropagation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, victim := range []int{0, 2} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("panic in worker %d did not propagate", victim)
+				}
+				if !strings.Contains(r.(string), "boom") {
+					t.Fatalf("unexpected panic payload: %v", r)
+				}
+			}()
+			p.Run(4, func(w int) {
+				if w == victim {
+					panic("boom")
+				}
+			})
+		}()
+		// The pool must remain usable after a propagated panic.
+		ok := false
+		p.Run(2, func(w int) {
+			if w == 0 {
+				ok = true
+			}
+		})
+		if !ok {
+			t.Fatal("pool unusable after panic")
+		}
+	}
+}
+
+// TestPoolRejectsNestedRun pins the one-region-at-a-time contract:
+// calling Run from inside a running body panics instead of deadlocking.
+func TestPoolRejectsNestedRun(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("nested Run did not panic")
+		}
+	}()
+	p.Run(2, func(w int) {
+		if w == 0 {
+			p.Run(2, func(int) {})
+		}
+	})
+}
+
+// TestPoolResize grows and shrinks the helper set; shrinking must
+// actually release the surplus goroutines.
+func TestPoolResize(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	p.Run(8, func(int) {})
+	if got := p.Size(); got != 8 {
+		t.Fatalf("Size() = %d, want 8", got)
+	}
+	base := runtime.NumGoroutine()
+	p.Resize(2)
+	if got := p.Size(); got != 2 {
+		t.Fatalf("after Resize(2): Size() = %d, want 2", got)
+	}
+	// The six released helpers exit asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base-5 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > base-5 {
+		t.Errorf("released helpers did not exit: %d goroutines, had %d before Resize(2)", now, base)
+	}
+	p.Run(4, func(int) {}) // growing past the resized size still works
+	if got := p.Size(); got != 4 {
+		t.Fatalf("after Run(4): Size() = %d, want 4", got)
+	}
+}
+
+// TestPoolRunSumsConcurrently checks helpers really run the body (not
+// just worker 0) by partitioning a sum across workers.
+func TestPoolRunSumsConcurrently(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1 << 16
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var total atomic.Int64
+	p.Run(4, func(w int) {
+		lo, hi := w*n/4, (w+1)*n/4
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += data[i]
+		}
+		total.Add(s)
+	})
+	if want := int64(n) * (n - 1) / 2; total.Load() != want {
+		t.Fatalf("pooled sum = %d, want %d", total.Load(), want)
+	}
+}

@@ -41,17 +41,25 @@ func (r RegionResult) Utilization(procs int) float64 {
 	return r.Issued / (r.Cycles * float64(procs))
 }
 
-// itemHeap is a hand-rolled min-heap of in-flight items ordered by
+// itemHeap is a hand-rolled min-heap of in-flight item groups ordered by
 // nominal (virtual-time) finish. container/heap would box a flight into
 // an interface on every push/pop — millions of allocations per region —
 // so the sift operations are written out.
 type itemHeap []flight
 
+// flight is a group of count identical in-flight items on one processor:
+// same virtual finish time, same issue-rate demand. Under dynamic
+// scheduling streams are anonymous — a completion pulls the globally next
+// item whatever stream it ran on — so identical concurrent items are
+// interchangeable and one heap entry can carry all of them. Under block
+// scheduling the stream identity picks the refill block, so groups are
+// always singletons there and the heap degenerates to the classic
+// one-entry-per-item form.
 type flight struct {
-	finishV float64 // virtual time at which the item completes
-	demand  float64 // issue-rate demand while active
-	issue   float64
-	stream  int // global stream index, for block scheduling refill
+	finishV float64 // virtual time at which the group's items complete
+	demand  float64 // issue-rate demand of one item while active
+	count   int32   // identical items carried by this entry
+	stream  int32   // global stream index, for block scheduling refill
 }
 
 func (h *itemHeap) push(f flight) {
@@ -101,9 +109,10 @@ func (h *itemHeap) pop() flight {
 // virtual time V that advances at wall rate 1/max(1, demand).
 type procState struct {
 	inflight itemHeap
-	v        float64 // current virtual time
-	demand   float64 // sum of active item demands
-	wall     float64 // wall time at which v and demand were last valid
+	pending  []flight // starts accumulated during one completion batch
+	v        float64  // current virtual time
+	demand   float64  // sum of active item demands
+	wall     float64  // wall time at which v and demand were last valid
 	issued   float64
 }
 
@@ -154,7 +163,12 @@ func (p *procState) nextFinishWall() float64 {
 	return p.wall + dv*p.stretch()
 }
 
-func (p *procState) start(it Item, stream int) {
+// enqueue stages one started item in the pending buffer, run-length
+// collapsing it into the previous entry when it is identical (same
+// finish and demand — possible only under dynamic scheduling, where the
+// stream refill identity does not matter) and charging its demand. The
+// buffer is flushed into the heap at the end of the batch.
+func (p *procState) enqueue(it Item, stream int32, group bool) {
 	crit := it.Crit
 	if crit < it.Issue {
 		crit = it.Issue
@@ -163,8 +177,21 @@ func (p *procState) start(it Item, stream int) {
 		crit = 1e-9
 	}
 	d := it.Issue / crit
-	p.inflight.push(flight{finishV: p.v + crit, demand: d, issue: it.Issue, stream: stream})
+	fv := p.v + crit
+	if np := len(p.pending); group && np > 0 && p.pending[np-1].finishV == fv && p.pending[np-1].demand == d {
+		p.pending[np-1].count++
+	} else {
+		p.pending = append(p.pending, flight{finishV: fv, demand: d, count: 1, stream: stream})
+	}
 	p.demand += d
+}
+
+// flush moves the pending starts into the in-flight heap.
+func (p *procState) flush() {
+	for _, f := range p.pending {
+		p.inflight.push(f)
+	}
+	p.pending = p.pending[:0]
 }
 
 const inf = 1e300
@@ -191,6 +218,20 @@ func RunRegionTimeline(procs, streamsPerProc int, items []Item, sched Sched, tl 
 	return runRegion(procs, streamsPerProc, items, sched, tl)
 }
 
+// runRegion is the discrete-event loop. Two structural optimizations
+// keep its serial cost from dominating host-parallel replays, both
+// exact:
+//
+//   - Identical concurrent items are run-length collapsed into one heap
+//     entry (flight.count), and a group's simultaneous completions are
+//     processed as one batch. Under dynamic scheduling streams are
+//     anonymous, so which of several identical in-flight items finishes
+//     "first" at the shared instant is unobservable: the batch performs
+//     the same per-item demand updates and pulls, in the same global
+//     item order, as the classic one-event-per-item loop.
+//   - Each processor's earliest completion time is cached (nf) and
+//     recomputed only for the processor an event actually touched; an
+//     event never changes any other processor's clocks or heap.
 func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTimeline) RegionResult {
 	if procs <= 0 || streamsPerProc <= 0 {
 		panic("sim: region needs at least one processor and one stream")
@@ -201,6 +242,7 @@ func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTi
 	}
 	ps := make([]procState, procs)
 	totalStreams := procs * streamsPerProc
+	group := sched == SchedDynamic
 
 	// Block scheduling: stream s owns items [s*n/S, (s+1)*n/S).
 	blockNext := make([]int, 0)
@@ -216,7 +258,7 @@ func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTi
 	nextDynamic := 0
 
 	// pull hands the next item for global stream s, or ok=false.
-	pull := func(s int) (Item, bool) {
+	pull := func(s int32) (Item, bool) {
 		switch sched {
 		case SchedDynamic:
 			if nextDynamic >= n {
@@ -237,10 +279,19 @@ func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTi
 
 	// Prime every stream.
 	for s := 0; s < totalStreams; s++ {
-		p := s / streamsPerProc
-		if it, ok := pull(s); ok {
-			ps[p].start(it, s)
+		p := &ps[s/streamsPerProc]
+		if it, ok := pull(int32(s)); ok {
+			p.enqueue(it, int32(s), group)
 		}
+	}
+	for i := range ps {
+		ps[i].flush()
+	}
+
+	// Earliest-finish index: nf[i] caches ps[i].nextFinishWall().
+	nf := make([]float64, procs)
+	for i := range ps {
+		nf[i] = ps[i].nextFinishWall()
 	}
 
 	now := 0.0
@@ -248,8 +299,8 @@ func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTi
 	for done < n {
 		// Earliest completion across processors, in wall time.
 		best, bestT := -1, inf
-		for i := range ps {
-			if t := ps[i].nextFinishWall(); t < bestT {
+		for i, t := range nf {
+			if t < bestT {
 				bestT, best = t, i
 			}
 		}
@@ -259,15 +310,19 @@ func runRegion(procs, streamsPerProc int, items []Item, sched Sched, tl *IssueTi
 		now = bestT
 		p := &ps[best]
 		p.advance(now, tl)
-		f := p.inflight.pop()
-		p.demand -= f.demand
-		if p.demand < 1e-12 {
-			p.demand = 0
+		g := p.inflight.pop()
+		for k := int32(0); k < g.count; k++ {
+			p.demand -= g.demand
+			if p.demand < 1e-12 {
+				p.demand = 0
+			}
+			done++
+			if it, ok := pull(g.stream); ok {
+				p.enqueue(it, g.stream, group)
+			}
 		}
-		done++
-		if it, ok := pull(f.stream); ok {
-			p.start(it, f.stream)
-		}
+		p.flush()
+		nf[best] = p.nextFinishWall()
 	}
 	var issued float64
 	for i := range ps {

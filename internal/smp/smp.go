@@ -24,6 +24,7 @@ package smp
 
 import (
 	"fmt"
+	"runtime"
 
 	"pargraph/internal/par"
 	"pargraph/internal/trace"
@@ -117,6 +118,7 @@ type Stats struct {
 type cache struct {
 	tags  []uint64 // assoc tags per set, LRU-ordered (index 0 = MRU);
 	sets  uint64   // 0 means empty (stored tags are shifted+1)
+	mask  uint64   // sets-1 when sets is a power of two, else 0
 	assoc int
 	shift uint // log2(line size)
 }
@@ -127,15 +129,40 @@ func newCache(bytes, line, assoc int) *cache {
 	for 1<<sh < line {
 		sh++
 	}
-	return &cache{tags: make([]uint64, sets*assoc), sets: uint64(sets), assoc: assoc, shift: sh}
+	c := &cache{tags: make([]uint64, sets*assoc), sets: uint64(sets), assoc: assoc, shift: sh}
+	if s := uint64(sets); s&(s-1) == 0 {
+		c.mask = s - 1
+	}
+	return c
+}
+
+// setOf maps a line address to its set index. Power-of-two set counts —
+// every realistic geometry, including the E4500 defaults — use a mask
+// instead of a 64-bit modulo; the two are value-identical there.
+func (c *cache) setOf(lineAddr uint64) int {
+	if c.mask != 0 {
+		return int(lineAddr & c.mask)
+	}
+	return int(lineAddr % c.sets)
 }
 
 // access looks up addr and installs it on miss; it reports a hit. The
-// hit way is promoted to MRU; a miss evicts the LRU way.
+// hit way is promoted to MRU; a miss evicts the LRU way. A direct-mapped
+// cache (the E4500 configuration) has one way per set, so hit, miss, and
+// replacement collapse to a single tag compare and store with no MRU
+// reshuffling.
 func (c *cache) access(addr uint64) bool {
 	lineAddr := addr >> c.shift
-	set := int(lineAddr%c.sets) * c.assoc
 	tag := lineAddr + 1 // +1 so an empty slot (0) never matches
+	if c.assoc == 1 {
+		set := c.setOf(lineAddr)
+		if c.tags[set] == tag {
+			return true
+		}
+		c.tags[set] = tag
+		return false
+	}
+	set := c.setOf(lineAddr) * c.assoc
 	ways := c.tags[set : set+c.assoc]
 	for i, w := range ways {
 		if w == tag {
@@ -221,8 +248,16 @@ type Machine struct {
 	stats       Stats
 	procs       []*Proc
 	hostWorkers int
-	next        uint64 // bump allocator for Alloc
-	allocs      int    // allocation count, drives the anti-conflict stagger
+	// pool holds the parked host workers for concurrent phase replay;
+	// created lazily by the first phase that shards, resized by
+	// SetHostWorkers, kept across Reset.
+	pool *par.Pool
+	// busyArena amortizes the per-phase procBusy allocations made while a
+	// sink is attached. Emitted trace events retain their slices, so the
+	// arena only batches the allocations — carved chunks are never reused.
+	busyArena []float64
+	next      uint64 // bump allocator for Alloc
+	allocs    int    // allocation count, drives the anti-conflict stagger
 
 	tracing bool
 	trace   []PhaseStat
@@ -255,12 +290,32 @@ func New(cfg Config) *Machine {
 // processors of a Phase. The default 1 replays serially; any value
 // yields identical simulated results because each simulated processor
 // owns its cache state and the bus/barrier merge stays serial in
-// processor order. Values below 1 are treated as 1.
+// processor order. Values below 1 are treated as 1. At replay time the
+// count is capped at runtime.GOMAXPROCS(0): workers the scheduler cannot
+// actually run in parallel would only add dispatch overhead.
 func (m *Machine) SetHostWorkers(w int) {
 	if w < 1 {
 		w = 1
 	}
 	m.hostWorkers = w
+	if m.pool == nil {
+		return
+	}
+	if eff := effectiveWorkers(w); eff == 1 {
+		m.pool.Close()
+		m.pool = nil
+	} else {
+		m.pool.Resize(eff)
+	}
+}
+
+// effectiveWorkers caps a requested host worker count at the parallelism
+// the Go scheduler can actually deliver.
+func effectiveWorkers(w int) int {
+	if max := runtime.GOMAXPROCS(0); w > max {
+		return max
+	}
+	return w
 }
 
 // HostWorkers returns the configured host worker count.
@@ -339,7 +394,7 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 	for _, p := range m.procs {
 		p.cycles, p.busBytes = 0, 0
 	}
-	w := m.hostWorkers
+	w := effectiveWorkers(m.hostWorkers)
 	if ordered || w > m.cfg.Procs {
 		if ordered {
 			w = 1
@@ -348,8 +403,15 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 		}
 	}
 	if w > 1 {
-		par.For(m.cfg.Procs, w, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
+		if m.pool == nil {
+			m.pool = par.NewPool(w)
+		}
+		P := m.cfg.Procs
+		m.pool.Run(w, func(worker int) {
+			// Same blocked partition as par.For; simulated results do not
+			// depend on it (each simulated processor owns its caches and
+			// the merge below is serial), only load balance does.
+			for i := worker * P / w; i < (worker+1)*P/w; i++ {
 				body(m.procs[i])
 			}
 		})
@@ -364,7 +426,7 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 	var bytes float64
 	var procBusy []float64
 	if m.sink != nil {
-		procBusy = make([]float64, len(m.procs))
+		procBusy = m.busyChunk(len(m.procs))
 	}
 	for i, p := range m.procs {
 		if procBusy != nil {
@@ -396,6 +458,19 @@ func (m *Machine) phase(body func(p *Proc), ordered bool) {
 	if m.sink != nil {
 		m.emitPhase(start, phase, maxCycles, busStall, before, procBusy)
 	}
+}
+
+// busyChunk carves a zeroed n-element slice out of the arena, allocating
+// a fresh block when the current one is exhausted. Exhausted blocks stay
+// alive exactly as long as the trace events that reference them.
+func (m *Machine) busyChunk(n int) []float64 {
+	if cap(m.busyArena)-len(m.busyArena) < n {
+		blk := 64 * n
+		m.busyArena = make([]float64, 0, blk)
+	}
+	used := len(m.busyArena)
+	m.busyArena = m.busyArena[:used+n]
+	return m.busyArena[used : used+n : used+n]
 }
 
 // Sequential runs body on processor 0 only — a serial section.

@@ -1,0 +1,46 @@
+#!/bin/sh
+# CI guard against inverted host scaling: runs a short
+# BenchmarkHostScaling smoke at workers=1 and workers=4 and fails if
+# workers=4 is more than 25% slower than workers=1 on either simulator
+# engine (minimum ns/op over three runs of each). This is a guard band,
+# not a microbenchmark gate — shared CI machines show ±10% run-to-run
+# noise even between identical binaries, so only the failure shape this
+# guard exists for (adding workers makes replay structurally slower,
+# which before the worker cap measured +26% and up) trips it.
+#
+# Usage: scripts/check_host_scaling.sh
+set -eu
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkHostScaling/(MTA|SMP)/workers=(1|4)$' \
+    -benchtime 2x -count 3 . | tee "$raw"
+
+awk '
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    if (!(name in nsop) || $3 + 0 < nsop[name] + 0) nsop[name] = $3
+}
+END {
+    status = 0
+    split("MTA SMP", engines, " ")
+    for (i = 1; i <= 2; i++) {
+        e = engines[i]
+        base = nsop["BenchmarkHostScaling/" e "/workers=1"]
+        four = nsop["BenchmarkHostScaling/" e "/workers=4"]
+        if (base + 0 <= 0 || four + 0 <= 0) {
+            printf "check_host_scaling: missing %s measurements\n", e
+            status = 1
+            continue
+        }
+        ratio = four / base
+        printf "check_host_scaling: %s workers=4 / workers=1 = %.3f\n", e, ratio
+        if (ratio > 1.25) {
+            printf "check_host_scaling: FAIL — %s workers=4 is %.0f%% slower than workers=1 (allowed 25%%)\n", e, (ratio - 1) * 100
+            status = 1
+        }
+    }
+    exit status
+}' "$raw"
