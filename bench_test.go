@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/euler"
 	"pargraph/internal/graph"
@@ -227,6 +228,33 @@ func BenchmarkSimulatorSMP(b *testing.B) {
 		m := smp.New(smp.DefaultConfig(benchProcs))
 		listrank.RankSMP(l, m, 8*benchProcs, 2)
 	}
+}
+
+// The coloring engine pair mirrors the list-ranking pair above so the
+// third workload shows up in BENCH_simulators.json: several short
+// sharded regions per round instead of a few long walks.
+func BenchmarkSimulatorColoringMTA(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		m := mta.New(mta.DefaultConfig(benchProcs))
+		coloring.ColorMTA(g, m, sim.SchedDynamic)
+		simSeconds = m.Seconds()
+	}
+	b.ReportMetric(simSeconds, "sim_s/op")
+}
+
+func BenchmarkSimulatorColoringSMP(b *testing.B) {
+	g := graph.RandomGnm(benchGraphN, 8*benchGraphN, 1)
+	b.ResetTimer()
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		m := smp.New(smp.DefaultConfig(benchProcs))
+		coloring.ColorSMP(g, m)
+		simSeconds = m.Seconds()
+	}
+	b.ReportMetric(simSeconds, "sim_s/op")
 }
 
 // BenchmarkHostScaling sweeps the host worker count over the two

@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/concomp"
 	"pargraph/internal/gio"
 	"pargraph/internal/graph"
@@ -27,25 +27,28 @@ import (
 	"pargraph/internal/trace"
 )
 
-func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) *graph.Graph {
+func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) (*graph.Graph, error) {
+	if err := cmdutil.CheckGraphGen(gen, n, m, rows, cols, depth); err != nil {
+		return nil, err
+	}
 	switch gen {
 	case "gnm":
-		return graph.RandomGnm(n, m, seed)
+		return graph.RandomGnm(n, m, seed), nil
 	case "rmat":
 		scale := 0
 		for 1<<scale < n {
 			scale++
 		}
-		return graph.RMAT(scale, m, seed)
+		if scale < 1 {
+			scale = 1
+		}
+		return graph.RMAT(scale, m, seed), nil
 	case "mesh2d":
-		return graph.Mesh2D(rows, cols)
+		return graph.Mesh2D(rows, cols), nil
 	case "mesh3d":
-		return graph.Mesh3D(rows, cols, depth)
-	case "torus":
-		return graph.Torus2D(rows, cols)
-	default:
-		log.Fatalf("unknown generator %q", gen)
-		return nil
+		return graph.Mesh3D(rows, cols, depth), nil
+	default: // torus; CheckGraphGen already rejected unknown names
+		return graph.Torus2D(rows, cols), nil
 	}
 }
 
@@ -69,8 +72,13 @@ func main() {
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
-	if *workers == 0 {
-		*workers = runtime.NumCPU()
+	w, err := cmdutil.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	*workers = w
+	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
+		log.Fatal(err)
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -104,7 +112,10 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		g = buildGraph(*gen, *n, *m, *rows, *cols, *depth, *seed)
+		g, err = buildGraph(*gen, *n, *m, *rows, *cols, *depth, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)

@@ -15,3 +15,10 @@ func TestSmokeSMP(t *testing.T) {
 	cmdtest.Expect(t, []string{"-n", "1024", "-m", "2048", "-machine", "smp"},
 		"machine=SMP", "components verified ok")
 }
+
+func TestRejectsBadFlags(t *testing.T) {
+	cmdtest.RunError(t, []string{"-workers", "-1"}, "-workers must be >= 0")
+	cmdtest.RunError(t, []string{"-p", "0"}, "-p")
+	cmdtest.RunError(t, []string{"-gen", "gnm", "-n", "0"})
+	cmdtest.RunError(t, []string{"-gen", "unknown-gen"})
+}

@@ -11,6 +11,8 @@
 //	figures -exp saturation      # §3 saturation claim (E5)
 //	figures -exp streams         # §2.2 streams claim (E6)
 //	figures -exp treeeval        # future work: tree contraction (E7)
+//	figures -exp coloring        # speculative coloring on both machines (E8)
+//	figures -exp colorsched      # A8: coloring loop scheduling ablation
 //	figures -exp sched|hashing|sublists|shortcut|cache|assoc|reduction
 //	figures -scale small|medium|paper
 //	figures -all -json           # machine-readable output
@@ -26,8 +28,8 @@ import (
 	"io"
 	"log"
 	"os"
-	"runtime"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
 	"pargraph/internal/trace"
 )
@@ -39,7 +41,7 @@ func main() {
 		fig      = flag.Int("fig", 0, "figure to regenerate (1 or 2)")
 		table    = flag.Int("table", 0, "table to regenerate (1)")
 		summary  = flag.Bool("summary", false, "print the §5 headline ratios")
-		exp      = flag.String("exp", "", "extra experiment: saturation, streams, sched, hashing, sublists, shortcut, cache, assoc, reduction, treeeval")
+		exp      = flag.String("exp", "", "extra experiment: saturation, streams, sched, hashing, sublists, shortcut, cache, assoc, reduction, treeeval, coloring, colorsched")
 		all      = flag.Bool("all", false, "run everything")
 		scaleS   = flag.String("scale", "small", "problem scale: small, medium, or paper")
 		jsonFlag = flag.Bool("json", false, "emit results as JSON instead of tables")
@@ -50,10 +52,11 @@ func main() {
 	)
 	flag.Parse()
 
-	if *workers == 0 {
-		*workers = runtime.NumCPU()
+	w, err := cmdutil.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
 	}
-	harness.HostWorkers = *workers
+	harness.HostWorkers = w
 
 	var rec *trace.Recorder
 	if *traceOut != "" || *attrOut != "" {
@@ -189,6 +192,17 @@ func main() {
 			rep.TreeEval = res
 			return res
 		},
+		"coloring": func() interface{} {
+			res, err := harness.RunColoring(harness.DefaultColoring(scale))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Coloring = res
+			return res
+		},
+		"colorsched": func() interface{} {
+			return addAbl(rep, harness.RunAblColoringSched(sizeFor(scale, 10, 13, 16), 8, 8, 7))
+		},
 	}
 	writeExp := func(res interface{}) {
 		if !text {
@@ -201,12 +215,14 @@ func main() {
 			v.WriteText(out)
 		case *harness.TreeEvalResult:
 			v.WriteText(out)
+		case *harness.ColoringResult:
+			v.WriteText(out)
 		case *harness.AblationResult:
 			v.WriteText(out)
 		}
 	}
 	if *all {
-		for _, name := range []string{"saturation", "streams", "sched", "hashing", "sublists", "shortcut", "cache", "assoc", "reduction", "treeeval"} {
+		for _, name := range []string{"saturation", "streams", "sched", "hashing", "sublists", "shortcut", "cache", "assoc", "reduction", "treeeval", "coloring", "colorsched"} {
 			writeExp(exps[name]())
 		}
 	} else if *exp != "" {

@@ -10,3 +10,12 @@ func TestSmoke(t *testing.T) {
 	cmdtest.Expect(t, []string{"-fig", "2", "-scale", "small"},
 		"Fig. 2", "MTA", "SMP", "done.")
 }
+
+func TestSmokeColoring(t *testing.T) {
+	cmdtest.Expect(t, []string{"-exp", "coloring", "-scale", "small"},
+		"Speculative coloring", "round dynamics", "time vs processors", "done.")
+}
+
+func TestRejectsNegativeWorkers(t *testing.T) {
+	cmdtest.RunError(t, []string{"-fig", "2", "-workers", "-1"}, "-workers must be >= 0")
+}

@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/list"
 	"pargraph/internal/listrank"
 	"pargraph/internal/mta"
@@ -43,8 +43,22 @@ func main() {
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
-	if *workers == 0 {
-		*workers = runtime.NumCPU()
+	w, err := cmdutil.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	*workers = w
+	if err := cmdutil.CheckPositive("-n", *n); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.CheckPositive("-nodes-per-walk", *walks); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmdutil.CheckPositive("-sublists-per-proc", *subl); err != nil {
+		log.Fatal(err)
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" {

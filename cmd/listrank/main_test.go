@@ -15,3 +15,10 @@ func TestSmokeSMP(t *testing.T) {
 	cmdtest.Expect(t, []string{"-n", "4096", "-machine", "smp"},
 		"machine=SMP", "ranks verified ok")
 }
+
+func TestRejectsBadFlags(t *testing.T) {
+	cmdtest.RunError(t, []string{"-workers", "-1"}, "-workers must be >= 0")
+	cmdtest.RunError(t, []string{"-n", "0"}, "-n")
+	cmdtest.RunError(t, []string{"-p", "-2"}, "-p")
+	cmdtest.RunError(t, []string{"-nodes-per-walk", "0"}, "-nodes-per-walk")
+}

@@ -10,6 +10,7 @@
 //	profile -kernel fig2 -machine both -attr csv
 //	profile -kernel prefix -layout ordered -timeline 20000
 //	profile -kernel treecon -n 4096 -sample 500
+//	profile -kernel coloring -machine both -attr table
 //
 // All output is bit-identical for any -workers value: events are
 // emitted at region commit, after the deterministic replay merge.
@@ -21,8 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
 	"pargraph/internal/list"
 )
@@ -31,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("profile: ")
 	var (
-		kernel   = flag.String("kernel", "fig1", "kernel to profile: fig1 (list ranking), fig2 (connected components), prefix, treecon")
+		kernel   = flag.String("kernel", "fig1", "kernel to profile: fig1 (list ranking), fig2 (connected components), prefix, treecon, coloring")
 		machine  = flag.String("machine", "both", "machine(s) to run: mta, smp, or both")
 		n        = flag.Int("n", 1<<16, "problem size (list nodes / graph vertices / tree leaves)")
 		procs    = flag.Int("procs", 8, "simulated processors")
@@ -45,10 +46,11 @@ func main() {
 	)
 	flag.Parse()
 
-	if *workers == 0 {
-		*workers = runtime.NumCPU()
+	w, err := cmdutil.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
 	}
-	harness.HostWorkers = *workers
+	harness.HostWorkers = w
 
 	var layout list.Layout
 	switch *layoutS {

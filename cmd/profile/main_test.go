@@ -14,6 +14,15 @@ func TestSmokeAttrTable(t *testing.T) {
 		"MTA fig1", "SMP fig1", "per-region attribution", "issue", "compute")
 }
 
+func TestSmokeColoringKernel(t *testing.T) {
+	cmdtest.Expect(t, []string{"-kernel", "coloring", "-machine", "both", "-n", "1024"},
+		"MTA coloring", "SMP coloring", "per-region attribution")
+}
+
+func TestRejectsNegativeWorkers(t *testing.T) {
+	cmdtest.RunError(t, []string{"-kernel", "fig1", "-workers", "-1"}, "-workers must be >= 0")
+}
+
 func TestSmokeChromeTrace(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "trace.json")
 	cmdtest.Run(t, "-kernel", "fig2", "-machine", "mta", "-n", "1024", "-attr", "none", "-trace", out)

@@ -49,3 +49,33 @@ func Expect(t *testing.T, args []string, want ...string) string {
 	}
 	return out
 }
+
+// RunError builds and executes the binary expecting a NON-zero exit: the
+// flag-validation contract is a one-line error, never a stack trace. It
+// fails the test if the binary exits 0, if the output panics, or if any
+// want substring is missing from the combined output.
+func RunError(t *testing.T, args []string, want ...string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "smoke")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	out := buf.String()
+	if err == nil {
+		t.Fatalf("run %v: expected failure, exited 0 with:\n%s", args, out)
+	}
+	if strings.Contains(out, "goroutine 1 [running]") || strings.Contains(out, "panic:") {
+		t.Errorf("run %v: died with a stack trace instead of an error:\n%s", args, out)
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output of %v missing %q; got:\n%s", args, w, out)
+		}
+	}
+	return out
+}

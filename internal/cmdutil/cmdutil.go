@@ -1,0 +1,88 @@
+// Package cmdutil holds the flag-validation helpers shared by the
+// command-line tools, so every cmd rejects bad sizes and worker counts
+// with a one-line error instead of a panic stack trace, and none of
+// them drifts out of step on the -workers convention.
+package cmdutil
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ResolveWorkers validates a -workers flag value: negative values are
+// rejected, 0 means one worker per host CPU, and positive values pass
+// through. The clamping inside the machines' SetHostWorkers is a
+// backstop, not the interface — every cmd resolves the flag here so a
+// typo'd "-workers -1" fails loudly instead of silently running serial.
+func ResolveWorkers(w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 = one per host CPU), got %d", w)
+	}
+	if w == 0 {
+		return runtime.NumCPU(), nil
+	}
+	return w, nil
+}
+
+// CheckPositive rejects non-positive values of a size flag.
+func CheckPositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// CheckGraphGen validates generator parameters up front, mirroring the
+// preconditions the internal/graph constructors enforce by panicking.
+// gen is one of gnm, rmat, mesh2d, mesh3d, torus; the rmat case derives
+// the scale from n the way the cmds do (smallest power of two >= n).
+func CheckGraphGen(gen string, n, m, rows, cols, depth int) error {
+	switch gen {
+	case "gnm":
+		if n <= 0 {
+			return fmt.Errorf("gnm needs -n >= 1, got %d", n)
+		}
+		if m < 0 {
+			return fmt.Errorf("gnm needs -m >= 0, got %d", m)
+		}
+		if maxM := int64(n) * int64(n-1) / 2; int64(m) > maxM {
+			return fmt.Errorf("gnm with -n %d holds at most %d edges, got -m %d", n, maxM, m)
+		}
+	case "rmat":
+		if n <= 0 {
+			return fmt.Errorf("rmat needs -n >= 1, got %d", n)
+		}
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		if scale > 30 {
+			return fmt.Errorf("rmat scale %d (from -n %d) exceeds the supported 30", scale, n)
+		}
+		if m < 0 {
+			return fmt.Errorf("rmat needs -m >= 0, got %d", m)
+		}
+		nr := int64(1) << scale
+		if maxM := nr * (nr - 1) / 4; int64(m) > maxM {
+			return fmt.Errorf("rmat at scale %d supports at most %d edges, got -m %d", scale, maxM, m)
+		}
+	case "mesh2d":
+		if rows <= 0 || cols <= 0 {
+			return fmt.Errorf("mesh2d needs positive -rows and -cols, got %dx%d", rows, cols)
+		}
+	case "mesh3d":
+		if rows <= 0 || cols <= 0 || depth <= 0 {
+			return fmt.Errorf("mesh3d needs positive -rows, -cols and -depth, got %dx%dx%d", rows, cols, depth)
+		}
+	case "torus":
+		if rows <= 0 || cols <= 0 {
+			return fmt.Errorf("torus needs positive -rows and -cols, got %dx%d", rows, cols)
+		}
+	default:
+		return fmt.Errorf("unknown generator %q (want gnm, rmat, mesh2d, mesh3d, or torus)", gen)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package cmdutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if _, err := ResolveWorkers(-1); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := ResolveWorkers(-100); err == nil {
+		t.Error("very negative workers accepted")
+	}
+	if w, err := ResolveWorkers(0); err != nil || w != runtime.NumCPU() {
+		t.Errorf("ResolveWorkers(0) = %d, %v; want NumCPU=%d", w, err, runtime.NumCPU())
+	}
+	if w, err := ResolveWorkers(3); err != nil || w != 3 {
+		t.Errorf("ResolveWorkers(3) = %d, %v; want 3", w, err)
+	}
+}
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive("-n", 0); err == nil {
+		t.Error("zero accepted")
+	}
+	if err := CheckPositive("-n", -5); err == nil {
+		t.Error("negative accepted")
+	}
+	if err := CheckPositive("-n", 1); err != nil {
+		t.Errorf("1 rejected: %v", err)
+	}
+}
+
+func TestCheckGraphGen(t *testing.T) {
+	bad := []struct {
+		name                    string
+		gen                     string
+		n, m, rows, cols, depth int
+	}{
+		{"gnm zero n", "gnm", 0, 10, 0, 0, 0},
+		{"gnm negative n", "gnm", -4, 10, 0, 0, 0},
+		{"gnm negative m", "gnm", 10, -1, 0, 0, 0},
+		{"gnm too dense", "gnm", 4, 7, 0, 0, 0},
+		{"rmat zero n", "rmat", 0, 10, 0, 0, 0},
+		{"rmat too dense", "rmat", 4, 100, 0, 0, 0},
+		{"mesh2d zero rows", "mesh2d", 0, 0, 0, 5, 0},
+		{"mesh3d zero depth", "mesh3d", 0, 0, 5, 5, 0},
+		{"torus negative cols", "torus", 0, 0, 5, -1, 0},
+		{"unknown", "petersen", 10, 10, 0, 0, 0},
+	}
+	for _, tc := range bad {
+		if err := CheckGraphGen(tc.gen, tc.n, tc.m, tc.rows, tc.cols, tc.depth); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	good := []struct {
+		name                    string
+		gen                     string
+		n, m, rows, cols, depth int
+	}{
+		{"gnm", "gnm", 100, 300, 0, 0, 0},
+		{"gnm complete", "gnm", 4, 6, 0, 0, 0},
+		{"rmat", "rmat", 1024, 8192, 0, 0, 0},
+		{"mesh2d", "mesh2d", 0, 0, 8, 9, 0},
+		{"mesh3d", "mesh3d", 0, 0, 4, 4, 4},
+		{"torus", "torus", 0, 0, 6, 6, 0},
+	}
+	for _, tc := range good {
+		if err := CheckGraphGen(tc.gen, tc.n, tc.m, tc.rows, tc.cols, tc.depth); err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package coloring implements the third workload: distance-1 greedy
+// graph coloring, the kernel of Çatalyürek, Feo et al.'s follow-up
+// study ("Graph Coloring Algorithms for Multi-core and Massively
+// Multithreaded Architectures"), which runs the same SMP-vs-MTA
+// comparison as the source paper on an algorithm with a fundamentally
+// different contention profile: speculative work that must be re-done
+// on conflict.
+//
+// The parallel algorithm is the iterative speculative scheme of
+// Gebremedhin–Manne: each round, every uncolored vertex concurrently
+// picks the smallest color not used by any neighbor colored in a
+// *previous* round (tentative same-round choices are invisible — that
+// is the speculation); a conflict-detection pass then finds adjacent
+// vertices that chose the same color, uncolors the loser of each such
+// edge (the higher-numbered endpoint), and requeues it for the next
+// round. The round structure terminates because the smallest-numbered
+// vertex of every round's worklist can never lose a tiebreak.
+//
+// Because each round's choices depend only on colors committed in
+// earlier rounds and the tiebreak depends only on vertex ids, the
+// final coloring is independent of iteration order, partitioning, and
+// machine: Speculative, ColorMTA, and ColorSMP return bit-identical
+// colors, which the differential suite asserts. Sequential is the
+// classic first-fit baseline the speculative scheme approximates.
+//
+// This package provides:
+//
+//   - Sequential: greedy first-fit in vertex order, the quality and
+//     correctness baseline.
+//   - Speculative: the round-structured algorithm on the host, the
+//     reference the machine kernels must match exactly.
+//   - ColorMTA: the rounds executed against the MTA machine model
+//     (internal/mta) with dynamic int_fetch_add scheduling.
+//   - ColorSMP: the rounds executed against the SMP cache model
+//     (internal/smp).
+//   - Validate: proper-coloring invariant check.
+//
+// Self-loops are skipped (a vertex never conflicts with itself), so
+// the kernels accept the same adversarial corpus as the other
+// workloads; parallel edges are harmless.
+package coloring
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+)
+
+// Uncolored marks a vertex not yet assigned a color.
+const Uncolored = int32(-1)
+
+// Stats reports the dynamics of one speculative-coloring run — the
+// quantities the follow-up study plots: palette size, number of rounds
+// to quiescence, and the conflicts each round had to redo.
+type Stats struct {
+	Colors    int   // distinct colors used (max color + 1)
+	Rounds    int   // speculative rounds until no conflicts remained
+	Conflicts []int // vertices uncolored and requeued after each round
+}
+
+// TotalConflicts sums the per-round conflict counts.
+func (s Stats) TotalConflicts() int {
+	total := 0
+	for _, c := range s.Conflicts {
+		total += c
+	}
+	return total
+}
+
+// maxRounds bounds the speculative loop. Each round commits at least
+// one vertex, so n+1 rounds means an implementation bug; exceed the
+// bound loudly rather than looping forever.
+func maxRounds(n int) int { return n + 2 }
+
+// validateInput panics on malformed graphs; coloring a graph with
+// out-of-range endpoints has no meaning.
+func validateInput(g *graph.Graph) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// palette counts the distinct colors in a complete coloring.
+func palette(color []int32) int {
+	max := int32(-1)
+	for _, c := range color {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max + 1)
+}
+
+// smallestFree returns the smallest color ≥ 0 not marked in forbidden,
+// clearing the marks it visited on the way out so the scratch slice can
+// be reused without re-zeroing.
+func smallestFree(forbidden []bool) int32 {
+	c := 0
+	for c < len(forbidden) && forbidden[c] {
+		c++
+	}
+	for i := range forbidden {
+		forbidden[i] = false
+	}
+	return int32(c)
+}
+
+// Sequential colors g greedily in vertex order — first-fit, the best
+// simple sequential algorithm and the quality baseline the speculative
+// scheme is measured against. It returns one color per vertex; the
+// palette never exceeds maxDegree+1.
+func Sequential(g *graph.Graph) []int32 {
+	validateInput(g)
+	csr := g.ToCSR()
+	color := make([]int32, g.N)
+	for i := range color {
+		color[i] = Uncolored
+	}
+	scratch := make([]bool, 0)
+	for v := 0; v < g.N; v++ {
+		neigh := csr.Neighbors(v)
+		if need := len(neigh) + 1; cap(scratch) < need {
+			scratch = make([]bool, need)
+		}
+		forbidden := scratch[:len(neigh)+1]
+		for _, u := range neigh {
+			if int(u) != v && color[u] != Uncolored && int(color[u]) < len(forbidden) {
+				forbidden[color[u]] = true
+			}
+		}
+		color[v] = smallestFree(forbidden)
+	}
+	return color
+}
+
+// Speculative runs the iterative speculative algorithm on the host with
+// no machine attached: the reference implementation ColorMTA and
+// ColorSMP must match bit for bit.
+func Speculative(g *graph.Graph) ([]int32, Stats) {
+	validateInput(g)
+	csr := g.ToCSR()
+	n := g.N
+	color := make([]int32, n)
+	work := make([]int32, n)
+	for i := range color {
+		color[i] = Uncolored
+		work[i] = int32(i)
+	}
+	tent := make([]int32, n)
+	lose := make([]bool, n)
+	next := make([]int32, 0)
+	var st Stats
+	scratch := make([]bool, 0)
+	for len(work) > 0 {
+		if st.Rounds > maxRounds(n) {
+			panic(fmt.Sprintf("coloring: speculative rounds did not converge after %d rounds", st.Rounds))
+		}
+		st.Rounds++
+		// Assign: tentative smallest free color vs committed neighbors.
+		for i, v := range work {
+			neigh := csr.Neighbors(int(v))
+			if need := len(neigh) + 1; cap(scratch) < need {
+				scratch = make([]bool, need)
+			}
+			forbidden := scratch[:len(neigh)+1]
+			for _, u := range neigh {
+				if u != v && color[u] != Uncolored && int(color[u]) < len(forbidden) {
+					forbidden[color[u]] = true
+				}
+			}
+			tent[i] = smallestFree(forbidden)
+		}
+		for i, v := range work {
+			color[v] = tent[i]
+		}
+		// Detect: the loser of each same-color edge is the higher id.
+		for i, v := range work {
+			lose[i] = false
+			for _, u := range csr.Neighbors(int(v)) {
+				if u < v && color[u] == color[v] {
+					lose[i] = true
+					break
+				}
+			}
+		}
+		// Compact: uncolor and requeue the losers.
+		next = next[:0]
+		for i, v := range work {
+			if lose[i] {
+				color[v] = Uncolored
+				next = append(next, v)
+			}
+		}
+		st.Conflicts = append(st.Conflicts, len(next))
+		work, next = next, work
+	}
+	st.Colors = palette(color)
+	return color, st
+}
+
+// Validate checks that color is a complete proper coloring of g: every
+// vertex colored with a nonnegative color, and no non-loop edge
+// monochromatic. It returns a descriptive error on the first violation.
+func Validate(g *graph.Graph, color []int32) error {
+	if len(color) != g.N {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(color), g.N)
+	}
+	for v, c := range color {
+		if c < 0 {
+			return fmt.Errorf("coloring: vertex %d is uncolored", v)
+		}
+	}
+	for i, e := range g.Edges {
+		if e.U != e.V && color[e.U] == color[e.V] {
+			return fmt.Errorf("coloring: edge %d = (%d,%d) is monochromatic (color %d)", i, e.U, e.V, color[e.U])
+		}
+	}
+	return nil
+}

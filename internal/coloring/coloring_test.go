@@ -1,0 +1,187 @@
+package coloring
+
+import (
+	"fmt"
+	"testing"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/rng"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// selfLoopGraph mirrors the adversarial builder from the harness
+// differential suite: self-loops, duplicate edges, isolated vertices.
+func selfLoopGraph(n int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	g := &graph.Graph{N: n}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			v := int32(r.Intn(n))
+			g.Edges = append(g.Edges, graph.Edge{U: v, V: v})
+		case 1:
+			if i > 0 {
+				g.Edges = append(g.Edges, graph.Edge{U: int32(i - 1), V: int32(i)})
+				g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(i - 1)})
+			}
+		case 2:
+			g.Edges = append(g.Edges, graph.Edge{U: int32(r.Intn(n)), V: int32(r.Intn(n))})
+		case 3:
+		}
+	}
+	return g
+}
+
+type graphCase struct {
+	name string
+	g    *graph.Graph
+}
+
+func corpus() []graphCase {
+	cases := []graphCase{
+		{"single", &graph.Graph{N: 1}},
+		{"empty/n=50", &graph.Graph{N: 50}},
+		{"chain/n=2", graph.Chain(2)},
+		{"chain/n=500", graph.Chain(500)},
+		{"star/n=300", graph.Star(300)},
+		{"mesh/16x17", graph.Mesh2D(16, 17)},
+		{"torus/8x9", graph.Torus2D(8, 9)},
+		{"rmat/s=9", graph.RMAT(9, 2048, 0xc01)},
+		{"selfloops/n=400", selfLoopGraph(400, 0x5e1f)},
+	}
+	r := rng.New(0xc010)
+	for i := 0; i < 5; i++ {
+		n := 2 + r.Intn(1500)
+		m := r.Intn(4 * n)
+		cases = append(cases, graphCase{
+			fmt.Sprintf("gnm%d/n=%d/m=%d", i, n, m),
+			graph.RandomGnm(n, m, r.Uint64()),
+		})
+	}
+	return cases
+}
+
+func equalColors(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: color[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSequentialProperAndBounded: first-fit produces a proper coloring
+// never exceeding maxDegree+1 colors.
+func TestSequentialProperAndBounded(t *testing.T) {
+	for _, tc := range corpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			color := Sequential(tc.g)
+			if err := Validate(tc.g, color); err != nil {
+				t.Fatal(err)
+			}
+			if got, bound := palette(color), tc.g.MaxDegree()+1; got > bound {
+				t.Errorf("used %d colors, bound is %d", got, bound)
+			}
+		})
+	}
+}
+
+// TestSpeculativeProperAndBounded: the round-structured algorithm also
+// respects the maxDegree+1 bound (a vertex's forbidden set can never
+// exclude more than deg colors) and terminates with per-round conflict
+// counts that sum consistently.
+func TestSpeculativeProperAndBounded(t *testing.T) {
+	for _, tc := range corpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			color, st := Speculative(tc.g)
+			if err := Validate(tc.g, color); err != nil {
+				t.Fatal(err)
+			}
+			if bound := tc.g.MaxDegree() + 1; st.Colors > bound {
+				t.Errorf("used %d colors, bound is %d", st.Colors, bound)
+			}
+			if st.Colors != palette(color) {
+				t.Errorf("Stats.Colors = %d, palette says %d", st.Colors, palette(color))
+			}
+			if len(st.Conflicts) != st.Rounds {
+				t.Errorf("%d conflict entries for %d rounds", len(st.Conflicts), st.Rounds)
+			}
+			if st.Rounds > 0 && st.Conflicts[st.Rounds-1] != 0 {
+				t.Errorf("last round still had %d conflicts", st.Conflicts[st.Rounds-1])
+			}
+			if tc.g.N > 0 && st.Rounds < 1 {
+				t.Errorf("no rounds run for n=%d", tc.g.N)
+			}
+		})
+	}
+}
+
+// TestMachinesMatchReference: ColorMTA and ColorSMP must reproduce the
+// host reference bit for bit — colors and round dynamics — at several
+// simulated processor counts, including non-powers of two.
+func TestMachinesMatchReference(t *testing.T) {
+	procsCycle := []int{1, 3, 8}
+	for i, tc := range corpus() {
+		procs := procsCycle[i%len(procsCycle)]
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantSt := Speculative(tc.g)
+
+			mm := mta.New(mta.DefaultConfig(procs))
+			gotM, stM := ColorMTA(tc.g, mm, sim.SchedDynamic)
+			equalColors(t, fmt.Sprintf("ColorMTA p=%d", procs), gotM, want)
+			if stM.Rounds != wantSt.Rounds || stM.Colors != wantSt.Colors {
+				t.Errorf("ColorMTA stats %+v, want %+v", stM, wantSt)
+			}
+
+			sm := smp.New(smp.DefaultConfig(procs))
+			gotS, stS := ColorSMP(tc.g, sm)
+			equalColors(t, fmt.Sprintf("ColorSMP p=%d", procs), gotS, want)
+			if stS.Rounds != wantSt.Rounds || stS.Colors != wantSt.Colors {
+				t.Errorf("ColorSMP stats %+v, want %+v", stS, wantSt)
+			}
+		})
+	}
+}
+
+// TestSpeculativeHasConflicts: on a dense-enough graph the speculative
+// scheme must actually conflict in round one — if it never does, the
+// snapshot semantics have silently degenerated to sequential greedy and
+// the workload is not exercising the re-do dynamics the study measures.
+func TestSpeculativeHasConflicts(t *testing.T) {
+	g := graph.RandomGnm(2000, 8000, 0xbead)
+	_, st := Speculative(g)
+	if st.Rounds < 2 {
+		t.Fatalf("expected at least 2 rounds on Gnm(2000,8000), got %d", st.Rounds)
+	}
+	if st.TotalConflicts() == 0 {
+		t.Fatal("expected speculative conflicts on a dense random graph, got none")
+	}
+}
+
+func TestValidateRejectsBadColorings(t *testing.T) {
+	g := graph.Chain(4)
+	if err := Validate(g, []int32{0, 1}); err == nil {
+		t.Error("short color slice accepted")
+	}
+	if err := Validate(g, []int32{0, 1, 0, Uncolored}); err == nil {
+		t.Error("uncolored vertex accepted")
+	}
+	if err := Validate(g, []int32{0, 0, 1, 0}); err == nil {
+		t.Error("monochromatic edge accepted")
+	}
+	if err := Validate(g, []int32{0, 1, 0, 1}); err != nil {
+		t.Errorf("proper coloring rejected: %v", err)
+	}
+}
+
+func TestStatsTotalConflicts(t *testing.T) {
+	st := Stats{Conflicts: []int{5, 2, 0}}
+	if got := st.TotalConflicts(); got != 7 {
+		t.Errorf("TotalConflicts = %d, want 7", got)
+	}
+}

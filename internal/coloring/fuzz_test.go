@@ -1,0 +1,71 @@
+package coloring
+
+// Fuzz target for the coloring kernels: arbitrary bytes decode to an
+// arbitrary graph — self-loops, duplicate edges, isolated vertices
+// included — and the speculative host reference must always produce a
+// proper coloring within the maxdeg+1 bound that both machine kernels
+// reproduce bit-for-bit. This is the same invariant the differential
+// suite checks, pushed onto generator-free inputs.
+
+import (
+	"testing"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// fuzzGraph decodes bytes into a graph: the first byte picks n in
+// [1,64], each following pair is one edge with endpoints taken mod n.
+func fuzzGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return &graph.Graph{N: 1}
+	}
+	n := int(data[0])%64 + 1
+	g := &graph.Graph{N: n}
+	for i := 1; i+1 < len(data); i += 2 {
+		g.Edges = append(g.Edges, graph.Edge{
+			U: int32(int(data[i]) % n),
+			V: int32(int(data[i+1]) % n),
+		})
+	}
+	return g
+}
+
+func FuzzSpeculativeMatchesMachines(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})                            // single vertex, no edges
+	f.Add([]byte{1, 0, 0})                      // self-loop on a 2-vertex graph
+	f.Add([]byte{3, 0, 1, 1, 0, 0, 1})          // duplicate edges both ways
+	f.Add([]byte{7, 0, 1, 1, 2, 2, 3, 3, 0})    // cycle
+	f.Add([]byte{63, 0, 1, 0, 2, 0, 3, 0, 4})   // star fragment
+	f.Add([]byte{5, 0, 1, 0, 2, 0, 3, 1, 2, 1}) // trailing odd byte ignored
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // keep each machine run cheap
+		}
+		g := fuzzGraph(data)
+		want, st := Speculative(g)
+		if err := Validate(g, want); err != nil {
+			t.Fatalf("speculative coloring is improper: %v", err)
+		}
+		if bound := g.MaxDegree() + 1; st.Colors > bound {
+			t.Fatalf("%d colors exceeds maxdeg+1 = %d", st.Colors, bound)
+		}
+
+		mm := mta.New(mta.DefaultConfig(3))
+		gotM, _ := ColorMTA(g, mm, sim.SchedDynamic)
+		sm := smp.New(smp.DefaultConfig(3))
+		gotS, _ := ColorSMP(g, sm)
+		for i := range want {
+			if gotM[i] != want[i] {
+				t.Fatalf("ColorMTA diverges at vertex %d: %d vs %d", i, gotM[i], want[i])
+			}
+			if gotS[i] != want[i] {
+				t.Fatalf("ColorSMP diverges at vertex %d: %d vs %d", i, gotS[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package coloring
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+)
+
+// Simulated base addresses (in words) of the MTA kernel's arrays. The
+// machine hashes addresses, so only distinctness matters.
+const (
+	mtaRowBase   = uint64(20) << 40 // CSR row pointers (n+1 words)
+	mtaAdjBase   = uint64(21) << 40 // CSR adjacency (2m words)
+	mtaColorBase = uint64(22) << 40 // color per vertex
+	mtaWorkBase  = uint64(23) << 40 // current worklist
+	mtaWork2Base = uint64(24) << 40 // next worklist
+	mtaLoseBase  = uint64(25) << 40 // per-worklist-entry conflict flag
+	mtaCtrBase   = uint64(26) << 40 // shared requeue counter
+)
+
+// ColorMTA executes the speculative coloring rounds against the MTA
+// machine model and returns the colors plus the round dynamics. Each
+// round is three parallel regions separated by barriers:
+//
+//   - the assign loop, whose per-vertex work is the contiguous
+//     adjacency-row read (charged with the bulk LoadN) followed by one
+//     irregular color read per neighbor — loads the streams overlap;
+//   - the conflict-detection loop, pure irregular reads plus one flag
+//     store — the pass where latency tolerance is everything;
+//   - the requeue loop, which appends losers to the next worklist via
+//     int_fetch_add. Its append order is order-dependent, so it replays
+//     through ParallelForOrdered; the two big loops are data-parallel
+//     and shard across host workers.
+//
+// The returned colors are bit-identical to Speculative and ColorSMP.
+func ColorMTA(g *graph.Graph, m *mta.Machine, sched sim.Sched) ([]int32, Stats) {
+	validateInput(g)
+	csr := g.ToCSR()
+	n := g.N
+	color := make([]int32, n)
+	work := make([]int32, n)
+
+	// Initialize color[] to the sentinel and seed the worklist with
+	// every vertex.
+	m.ParallelFor(n, sched, func(i int, t *mta.Thread) {
+		t.Instr(1)
+		t.Store(mtaColorBase + uint64(i))
+		t.Store(mtaWorkBase + uint64(i))
+		color[i] = Uncolored
+		work[i] = int32(i)
+	})
+	m.Barrier()
+
+	tent := make([]int32, n)
+	lose := make([]bool, n)
+	next := make([]int32, 0, n)
+	var st Stats
+	for len(work) > 0 {
+		if st.Rounds > maxRounds(n) {
+			panic(fmt.Sprintf("coloring: ColorMTA failed to converge after %d rounds", st.Rounds))
+		}
+		st.Rounds++
+		w := work
+
+		// Assign: each uncolored vertex speculatively picks the smallest
+		// color no committed neighbor holds. Tentative choices go to
+		// tent[i] (disjoint per iteration) and commit after the region,
+		// so the replay reads only previous-round colors — data-parallel
+		// under any host worker count, and exactly the speculation the
+		// real code performs (same-round neighbors are invisible).
+		m.ParallelFor(len(w), sched, func(i int, t *mta.Thread) {
+			v := w[i]
+			t.Load(mtaWorkBase + uint64(i))
+			t.Load2(mtaRowBase+uint64(v), mtaRowBase+uint64(v)+1)
+			neigh := csr.Neighbors(int(v))
+			t.LoadN(mtaAdjBase+uint64(csr.RowPtr[v]), len(neigh))
+			forbidden := make([]bool, len(neigh)+1)
+			for _, u := range neigh {
+				t.Load(mtaColorBase + uint64(u))
+				if u != v && color[u] != Uncolored && int(color[u]) < len(forbidden) {
+					forbidden[color[u]] = true
+				}
+			}
+			c := smallestFree(forbidden)
+			t.Instr(2*len(neigh) + int(c) + 4)
+			t.Store(mtaColorBase + uint64(v))
+			tent[i] = c
+		})
+		for i, v := range w {
+			color[v] = tent[i]
+		}
+		m.Barrier()
+
+		// Detect: a vertex loses its color if a smaller-numbered
+		// neighbor picked the same one this round (committed neighbors
+		// can never clash — assign saw their colors). Pure irregular
+		// reads, one flag store; writes are disjoint per iteration.
+		m.ParallelFor(len(w), sched, func(i int, t *mta.Thread) {
+			v := w[i]
+			t.Load(mtaWorkBase + uint64(i))
+			t.Load2(mtaRowBase+uint64(v), mtaRowBase+uint64(v)+1)
+			neigh := csr.Neighbors(int(v))
+			t.LoadN(mtaAdjBase+uint64(csr.RowPtr[v]), len(neigh))
+			lose[i] = false
+			scanned := 0
+			for _, u := range neigh {
+				t.Load(mtaColorBase + uint64(u))
+				scanned++
+				if u < v && color[u] == color[v] {
+					lose[i] = true
+					break
+				}
+			}
+			t.Instr(2*scanned + 3)
+			t.Store(mtaLoseBase + uint64(i))
+		})
+		m.Barrier()
+
+		// Requeue: losers are uncolored and appended to the next
+		// worklist, grabbing slots with int_fetch_add on the shared
+		// counter. Append order is order-dependent, so this region
+		// always replays serially in iteration order.
+		next = next[:0]
+		m.ParallelForOrdered(len(w), sched, func(i int, t *mta.Thread) {
+			t.Load(mtaLoseBase + uint64(i))
+			t.Instr(2)
+			if lose[i] {
+				v := w[i]
+				t.FetchAdd(mtaCtrBase)
+				t.Store(mtaWork2Base + uint64(len(next)))
+				t.Store(mtaColorBase + uint64(v))
+				color[v] = Uncolored
+				next = append(next, v)
+			}
+		})
+		m.Barrier()
+
+		st.Conflicts = append(st.Conflicts, len(next))
+		work, next = next, work
+	}
+	st.Colors = palette(color)
+	return color, st
+}

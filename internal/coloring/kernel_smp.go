@@ -1,0 +1,153 @@
+package coloring
+
+import (
+	"fmt"
+
+	"pargraph/internal/graph"
+	"pargraph/internal/smp"
+)
+
+const cElemBytes = 4 // 32-bit colors and vertex ids
+
+// ColorSMP executes the speculative coloring rounds against the SMP
+// cache/bus model and returns the colors plus the round dynamics. The
+// round structure matches ColorMTA — assign, detect, requeue, with
+// barriers between — and the worklist is block-partitioned across
+// processors. The adjacency-row sweeps are contiguous and cache
+// friendly; the per-neighbor color lookups are the non-contiguous
+// references that miss, which is where the SMP's memory wall shows up
+// in the conflict-detection pass (it does nothing *but* those reads).
+//
+// Assign and detect have disjoint writes (tent[i] / lose[i]) and read
+// only colors committed in earlier rounds, so they replay data-parallel
+// under any host worker count; the requeue pass shares an append
+// counter and replays through PhaseOrdered. The returned colors are
+// bit-identical to Speculative and ColorMTA.
+func ColorSMP(g *graph.Graph, m *smp.Machine) ([]int32, Stats) {
+	validateInput(g)
+	csr := g.ToCSR()
+	n := g.N
+	procs := m.Config().Procs
+
+	rowA := m.Alloc((n + 1) * cElemBytes)
+	adjA := m.Alloc(len(csr.Col) * cElemBytes)
+	colorA := m.Alloc(n * cElemBytes)
+	workA := m.Alloc(n * cElemBytes)
+	work2A := m.Alloc(n * cElemBytes)
+	loseA := m.Alloc(n * cElemBytes)
+	ctrA := m.Alloc(cElemBytes)
+	addr := func(base uint64, i int32) uint64 { return base + uint64(i)*cElemBytes }
+
+	color := make([]int32, n)
+	work := make([]int32, n)
+	m.Phase(func(p *smp.Proc) {
+		lo, hi := p.ID()*n/procs, (p.ID()+1)*n/procs
+		for i := lo; i < hi; i++ {
+			p.Compute(1)
+			p.Store(addr(colorA, int32(i)))
+			p.Store(addr(workA, int32(i)))
+			color[i] = Uncolored
+			work[i] = int32(i)
+		}
+	})
+	m.Barrier()
+
+	tent := make([]int32, n)
+	lose := make([]bool, n)
+	next := make([]int32, 0, n)
+	scratch := make([][]bool, procs)
+	var st Stats
+	for len(work) > 0 {
+		if st.Rounds > maxRounds(n) {
+			panic(fmt.Sprintf("coloring: ColorSMP failed to converge after %d rounds", st.Rounds))
+		}
+		st.Rounds++
+		w := work
+		wn := len(w)
+
+		// Assign: tentative smallest free color vs committed neighbors,
+		// written to the disjoint tent[i] and host-committed after the
+		// phase (same snapshot semantics as the reference).
+		m.Phase(func(p *smp.Proc) {
+			lo, hi := p.ID()*wn/procs, (p.ID()+1)*wn/procs
+			for i := lo; i < hi; i++ {
+				v := w[i]
+				p.Load(addr(workA, int32(i)))
+				p.Load(addr(rowA, v))
+				p.Load(addr(rowA, v+1))
+				neigh := csr.Neighbors(int(v))
+				if need := len(neigh) + 1; cap(scratch[p.ID()]) < need {
+					scratch[p.ID()] = make([]bool, need)
+				}
+				forbidden := scratch[p.ID()][:len(neigh)+1]
+				for k, u := range neigh {
+					p.Load(addr(adjA, csr.RowPtr[v]+int32(k)))
+					p.Load(addr(colorA, u))
+					if u != v && color[u] != Uncolored && int(color[u]) < len(forbidden) {
+						forbidden[color[u]] = true
+					}
+				}
+				c := smallestFree(forbidden)
+				p.Compute(2*len(neigh) + int(c) + 4)
+				p.Store(addr(colorA, v))
+				tent[i] = c
+			}
+		})
+		for i, v := range w {
+			color[v] = tent[i]
+		}
+		m.Barrier()
+
+		// Detect: pure irregular color reads, one flag store each.
+		m.Phase(func(p *smp.Proc) {
+			lo, hi := p.ID()*wn/procs, (p.ID()+1)*wn/procs
+			for i := lo; i < hi; i++ {
+				v := w[i]
+				p.Load(addr(workA, int32(i)))
+				p.Load(addr(rowA, v))
+				p.Load(addr(rowA, v+1))
+				neigh := csr.Neighbors(int(v))
+				lose[i] = false
+				scanned := 0
+				for k, u := range neigh {
+					p.Load(addr(adjA, csr.RowPtr[v]+int32(k)))
+					p.Load(addr(colorA, u))
+					scanned++
+					if u < v && color[u] == color[v] {
+						lose[i] = true
+						break
+					}
+				}
+				p.Compute(2*scanned + 3)
+				p.Store(addr(loseA, int32(i)))
+			}
+		})
+		m.Barrier()
+
+		// Requeue: losers append to the next worklist through the shared
+		// counter — order-dependent, so the phase replays serially.
+		next = next[:0]
+		m.PhaseOrdered(func(p *smp.Proc) {
+			lo, hi := p.ID()*wn/procs, (p.ID()+1)*wn/procs
+			for i := lo; i < hi; i++ {
+				p.Load(addr(loseA, int32(i)))
+				p.Compute(2)
+				if lose[i] {
+					v := w[i]
+					p.Load(addr(ctrA, 0))
+					p.Store(addr(ctrA, 0))
+					p.Store(addr(work2A, int32(len(next))))
+					p.Store(addr(colorA, v))
+					color[v] = Uncolored
+					next = append(next, v)
+				}
+			}
+		})
+		m.Barrier()
+
+		st.Conflicts = append(st.Conflicts, len(next))
+		work, next = next, work
+	}
+	st.Colors = palette(color)
+	return color, st
+}

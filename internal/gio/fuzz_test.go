@@ -54,10 +54,14 @@ func FuzzReadDIMACS(f *testing.F) {
 
 func FuzzReadDIMACSWeighted(f *testing.F) {
 	f.Add("p sp 3 2\na 1 2 5\na 2 3 -7\n")
-	f.Add("p sp 1 999999999\n")
+	f.Add("p sp 1 999999999\n") // lying header: promised arcs never arrive
 	f.Add("p sp 2 1\na 1 2 9223372036854775807\n")
 	f.Add("a 1 2 3\n")
 	f.Add("p sp 2 1\na 1 2 x\n")
+	f.Add("p sp 2 1\np sp 2 1\na 1 2 3\n") // duplicate problem line
+	f.Add("p sp 2 1\na 2 2 5\n")           // self-loop arc
+	f.Add("p sp 2 1\na 0 1 5\n")           // 0-indexed endpoint (invalid)
+	f.Add("p sp 3 5\na 1 2 3\n")           // fewer arcs than promised
 
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadDIMACSWeighted(strings.NewReader(input))

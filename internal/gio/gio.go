@@ -81,7 +81,10 @@ func ReadDIMACS(r io.Reader) (*graph.Graph, error) {
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil || u < 1 || v < 1 || u > g.N || v > g.N {
-				return nil, fmt.Errorf("gio: line %d: bad endpoints %q", line, sc.Text())
+				return nil, fmt.Errorf("gio: line %d: bad endpoints %q (want 1-indexed vertices in [1,%d])", line, sc.Text(), g.N)
+			}
+			if u == v {
+				return nil, fmt.Errorf("gio: line %d: self-loop %q", line, sc.Text())
 			}
 			g.Edges = append(g.Edges, graph.Edge{U: int32(u - 1), V: int32(v - 1)})
 		default:
@@ -116,6 +119,7 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var g *msf.WGraph
+	arcs := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -127,6 +131,9 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 		case "c":
 			continue
 		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("gio: line %d: duplicate problem line", line)
+			}
 			if len(fields) != 4 || fields[1] != "sp" {
 				return nil, fmt.Errorf("gio: line %d: want `p sp N M`", line)
 			}
@@ -136,6 +143,7 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 				return nil, fmt.Errorf("gio: line %d: bad problem sizes", line)
 			}
 			g = &msf.WGraph{N: n, Edges: make([]msf.WEdge, 0, capHint(m))}
+			arcs = m
 		case "a":
 			if g == nil {
 				return nil, fmt.Errorf("gio: line %d: arc before problem line", line)
@@ -147,7 +155,10 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 			v, err2 := strconv.Atoi(fields[2])
 			wt, err3 := strconv.ParseInt(fields[3], 10, 64)
 			if err1 != nil || err2 != nil || err3 != nil || u < 1 || v < 1 || u > g.N || v > g.N {
-				return nil, fmt.Errorf("gio: line %d: bad arc %q", line, sc.Text())
+				return nil, fmt.Errorf("gio: line %d: bad arc %q (want 1-indexed vertices in [1,%d])", line, sc.Text(), g.N)
+			}
+			if u == v {
+				return nil, fmt.Errorf("gio: line %d: self-loop %q", line, sc.Text())
 			}
 			g.Edges = append(g.Edges, msf.WEdge{U: int32(u - 1), V: int32(v - 1), W: wt})
 		default:
@@ -159,6 +170,9 @@ func ReadDIMACSWeighted(r io.Reader) (*msf.WGraph, error) {
 	}
 	if g == nil {
 		return nil, fmt.Errorf("gio: no problem line")
+	}
+	if len(g.Edges) != arcs {
+		return nil, fmt.Errorf("gio: problem line promised %d arcs, found %d", arcs, len(g.Edges))
 	}
 	return g, nil
 }

@@ -86,6 +86,7 @@ func TestReadRejectsMalformed(t *testing.T) {
 		"count-mismatch":    "p edge 3 5\ne 1 2\n",
 		"duplicate-problem": "p edge 2 1\np edge 2 1\ne 1 2\n",
 		"unknown-record":    "p edge 2 1\nx 1 2\n",
+		"self-loop":         "p edge 2 1\ne 2 2\n",
 		"empty":             "",
 		"garbage-sizes":     "p edge two 1\n",
 	}
@@ -122,10 +123,14 @@ func TestWeightedRoundTrip(t *testing.T) {
 
 func TestWeightedRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"no-problem": "a 1 2 5\n",
-		"bad-arc":    "p sp 2 1\na 1 9 5\n",
-		"short-arc":  "p sp 2 1\na 1 2\n",
-		"wrong-kind": "p edge 2 1\ne 1 2\n",
+		"no-problem":        "a 1 2 5\n",
+		"bad-arc":           "p sp 2 1\na 1 9 5\n",
+		"short-arc":         "p sp 2 1\na 1 2\n",
+		"wrong-kind":        "p edge 2 1\ne 1 2\n",
+		"zero-index":        "p sp 2 1\na 0 1 5\n",
+		"self-loop":         "p sp 2 1\na 2 2 5\n",
+		"duplicate-problem": "p sp 2 1\np sp 2 1\na 1 2 5\n",
+		"count-mismatch":    "p sp 3 5\na 1 2 3\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadDIMACSWeighted(strings.NewReader(in)); err == nil {

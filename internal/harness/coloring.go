@@ -1,0 +1,258 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"pargraph/internal/coloring"
+	"pargraph/internal/graph"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+)
+
+// ColoringParams configures the third-workload experiment: speculative
+// greedy coloring (Çatalyürek, Feo et al.) on both machines, time vs
+// processor count over the follow-up study's three input families —
+// skewed RMAT, and regular mesh and torus grids.
+type ColoringParams struct {
+	Procs     []int
+	Seed      uint64
+	RMATScale int // RMAT input: 2^scale vertices
+	RMATEdges int // edges per vertex for the RMAT input
+	MeshDim   int // MeshDim × MeshDim 2D grid
+	TorusDim  int // TorusDim × TorusDim 2D torus
+	Verify    bool
+}
+
+// DefaultColoring returns parameters at the given scale.
+func DefaultColoring(scale Scale) ColoringParams {
+	p := ColoringParams{
+		Procs:     []int{1, 2, 4, 8},
+		Seed:      0x44,
+		RMATEdges: 8,
+		Verify:    true,
+	}
+	switch scale {
+	case Small:
+		p.RMATScale = 11
+		p.MeshDim = 48
+		p.TorusDim = 48
+	case Medium:
+		p.RMATScale = 14
+		p.MeshDim = 128
+		p.TorusDim = 128
+	default:
+		p.RMATScale = 18
+		p.MeshDim = 512
+		p.TorusDim = 512
+		p.Verify = false
+	}
+	return p
+}
+
+// ColoringDynamics reports the machine-independent result of coloring
+// one input: the algorithm is deterministic, so palette size, rounds,
+// and the per-round conflict counts are identical on both machines (the
+// differential suite asserts exactly this).
+type ColoringDynamics struct {
+	Input      string
+	N          int
+	M          int
+	SeqColors  int   // first-fit baseline palette
+	SpecColors int   // speculative palette
+	Rounds     int   // rounds to quiescence
+	Conflicts  []int // vertices redone after each round
+}
+
+// ColoringRow is one (input, procs) timing measurement.
+type ColoringRow struct {
+	Input      string
+	Procs      int
+	MTASeconds float64
+	SMPSeconds float64
+}
+
+// ColoringResult holds the coloring experiment: per-input round
+// dynamics plus the time-vs-procs comparison the paper's thesis
+// predicts (MTA flat-to-falling given abundant parallelism, SMP bounded
+// by the cache/bus model).
+type ColoringResult struct {
+	Dynamics []ColoringDynamics
+	Rows     []ColoringRow
+}
+
+// coloringInputs materializes the three input graphs.
+func coloringInputs(params ColoringParams) ([]string, []*graph.Graph) {
+	rn := 1 << params.RMATScale
+	names := []string{
+		fmt.Sprintf("rmat(s=%d,m=%dn)", params.RMATScale, params.RMATEdges),
+		fmt.Sprintf("mesh(%dx%d)", params.MeshDim, params.MeshDim),
+		fmt.Sprintf("torus(%dx%d)", params.TorusDim, params.TorusDim),
+	}
+	graphs := []*graph.Graph{
+		graph.RMAT(params.RMATScale, params.RMATEdges*rn, params.Seed),
+		graph.Mesh2D(params.MeshDim, params.MeshDim),
+		graph.Torus2D(params.TorusDim, params.TorusDim),
+	}
+	return names, graphs
+}
+
+// RunColoring executes the sweep, verifying every machine run against
+// the host reference (bit-identical colors) and the proper-coloring
+// invariant when params.Verify is set.
+func RunColoring(params ColoringParams) (*ColoringResult, error) {
+	res := &ColoringResult{}
+	names, graphs := coloringInputs(params)
+	for gi, g := range graphs {
+		name := names[gi]
+		want, wantSt := coloring.Speculative(g)
+		if params.Verify {
+			if err := coloring.Validate(g, want); err != nil {
+				return nil, fmt.Errorf("coloring %s: reference is improper: %w", name, err)
+			}
+		}
+		res.Dynamics = append(res.Dynamics, ColoringDynamics{
+			Input: name, N: g.N, M: g.M(),
+			SeqColors:  paletteSize(coloring.Sequential(g)),
+			SpecColors: wantSt.Colors,
+			Rounds:     wantSt.Rounds,
+			Conflicts:  wantSt.Conflicts,
+		})
+
+		for _, procs := range params.Procs {
+			row := ColoringRow{Input: name, Procs: procs}
+
+			mm := newMTA(mta.DefaultConfig(procs))
+			gotM, stM := coloring.ColorMTA(g, mm, sim.SchedDynamic)
+			if params.Verify {
+				if err := sameColors(want, gotM); err != nil {
+					return nil, fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
+				}
+				if stM.Rounds != wantSt.Rounds {
+					return nil, fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, wantSt.Rounds)
+				}
+			}
+			row.MTASeconds = mm.Seconds()
+
+			sm := newSMP(smp.DefaultConfig(procs))
+			gotS, stS := coloring.ColorSMP(g, sm)
+			if params.Verify {
+				if err := sameColors(want, gotS); err != nil {
+					return nil, fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
+				}
+				if stS.Rounds != wantSt.Rounds {
+					return nil, fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, wantSt.Rounds)
+				}
+			}
+			row.SMPSeconds = sm.Seconds()
+
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// paletteSize counts the distinct colors in a complete coloring.
+func paletteSize(color []int32) int {
+	max := int32(-1)
+	for _, c := range color {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max + 1)
+}
+
+// sameColors checks two colorings element-wise.
+func sameColors(want, got []int32) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("color[%d] = %d, reference says %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// WriteText prints the round dynamics and the time-vs-procs table.
+func (r *ColoringResult) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Speculative coloring: round dynamics (machine-independent)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "input\tn\tm\tcolors(seq)\tcolors(spec)\trounds\tconflicts/round")
+	for _, d := range r.Dynamics {
+		parts := make([]string, len(d.Conflicts))
+		for i, c := range d.Conflicts {
+			parts[i] = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			d.Input, d.N, d.M, d.SeqColors, d.SpecColors, d.Rounds, strings.Join(parts, ","))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Speculative coloring: time vs processors on both machines")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "input\tp\tMTA\tSMP\tSMP/MTA")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.6f\t%.6f\t%.1fx\n",
+			row.Input, row.Procs, row.MTASeconds, row.SMPSeconds, row.SMPSeconds/row.MTASeconds)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the timing rows as long-format CSV.
+func (r *ColoringResult) WriteCSV(w io.Writer) error {
+	series := make([]Series, 2*len(r.Dynamics))
+	byInput := map[string]int{}
+	for i, d := range r.Dynamics {
+		series[2*i] = Series{Machine: "MTA", Workload: d.Input}
+		series[2*i+1] = Series{Machine: "SMP", Workload: d.Input}
+		byInput[d.Input] = 2 * i
+	}
+	for _, row := range r.Rows {
+		i, ok := byInput[row.Input]
+		if !ok {
+			continue
+		}
+		series[i].Points = append(series[i].Points, Point{X: float64(row.Procs), Seconds: row.MTASeconds})
+		series[i+1].Points = append(series[i+1].Points, Point{X: float64(row.Procs), Seconds: row.SMPSeconds})
+	}
+	return seriesCSV(w, series)
+}
+
+// RunAblColoringSched (A8) compares dynamic against static block
+// scheduling of the MTA coloring loops on an RMAT input. The coloring
+// grain is one vertex — a degree-sized neighbor scan — so this probes
+// the fine-grain end of A1's tradeoff: the dynamic schedule's
+// per-iteration int_fetch_add is overhead the block schedule avoids,
+// while RMAT's degree skew is what dynamic scheduling insures against.
+// Colors and rounds must be identical either way (the speculation is
+// schedule-independent); only the time and utilization move.
+func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationResult {
+	n := 1 << scale
+	res := &AblationResult{Title: fmt.Sprintf("A8: MTA coloring scheduling (rmat s=%d, m=%dn, p=%d)", scale, edgeFactor, procs)}
+	g := graph.RMAT(scale, edgeFactor*n, seed)
+	want, _ := coloring.Speculative(g)
+	for _, sched := range []struct {
+		name string
+		s    sim.Sched
+	}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}} {
+		m := newMTA(mta.DefaultConfig(procs))
+		got, st := coloring.ColorMTA(g, m, sched.s)
+		if err := sameColors(want, got); err != nil {
+			panic(fmt.Sprintf("harness: A8 %s coloring diverged: %v", sched.name, err))
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Config:  sched.name,
+			Seconds: m.Seconds(),
+			Extra:   fmt.Sprintf("%d colors, %d rounds, utilization %.0f%%", st.Colors, st.Rounds, m.Utilization()*100),
+		})
+	}
+	return res
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/graph"
 	"pargraph/internal/list"
@@ -196,6 +197,66 @@ func TestDifferentialConnectedComponents(t *testing.T) {
 			sm := smp.New(smp.DefaultConfig(procs))
 			if got := concomp.LabelSMP(tc.g, sm); !graph.SameComponents(want, got) {
 				t.Errorf("LabelSMP p=%d: wrong component partition", procs)
+			}
+		})
+	}
+}
+
+func TestDifferentialColoring(t *testing.T) {
+	type graphCase struct {
+		name string
+		g    *graph.Graph
+	}
+	var cases []graphCase
+	cases = append(cases,
+		graphCase{"single", &graph.Graph{N: 1}},
+		graphCase{"chain/n=2", graph.Chain(2)},
+		graphCase{"chain/n=1000", graph.Chain(1000)},
+		graphCase{"star/n=1000", graph.Star(1000)},
+		graphCase{"empty/n=100", &graph.Graph{N: 100}},
+		graphCase{"selfloops/n=500", selfLoopGraph(500, 0xc01f)},
+		graphCase{"mesh/32x33", graph.Mesh2D(32, 33)},
+		graphCase{"torus/16x17", graph.Torus2D(16, 17)},
+		graphCase{"rmat/s=10", graph.RMAT(10, 8<<10, 0xc0)},
+	)
+	r := rng.New(0xc010)
+	for i := 0; i < 5; i++ {
+		n := 2 + r.Intn(2000)
+		m := r.Intn(4 * n)
+		cases = append(cases, graphCase{
+			fmt.Sprintf("gnm%d/n=%d/m=%d", i, n, m),
+			graph.RandomGnm(n, m, r.Uint64()),
+		})
+	}
+
+	for i, tc := range cases {
+		procs := diffProcs[i%len(diffProcs)]
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			want, wantSt := coloring.Speculative(tc.g)
+			if err := coloring.Validate(tc.g, want); err != nil {
+				t.Fatalf("host reference is improper: %v", err)
+			}
+
+			mm := mta.New(mta.DefaultConfig(procs))
+			gotM, stM := coloring.ColorMTA(tc.g, mm, sim.SchedDynamic)
+			if err := sameColors(want, gotM); err != nil {
+				t.Errorf("ColorMTA p=%d: %v", procs, err)
+			}
+			if stM.Rounds != wantSt.Rounds || stM.Colors != wantSt.Colors {
+				t.Errorf("ColorMTA p=%d: stats (%d colors, %d rounds), want (%d, %d)",
+					procs, stM.Colors, stM.Rounds, wantSt.Colors, wantSt.Rounds)
+			}
+			sm := smp.New(smp.DefaultConfig(procs))
+			gotS, stS := coloring.ColorSMP(tc.g, sm)
+			if err := sameColors(want, gotS); err != nil {
+				t.Errorf("ColorSMP p=%d: %v", procs, err)
+			}
+			if stS.Rounds != wantSt.Rounds || stS.Colors != wantSt.Colors {
+				t.Errorf("ColorSMP p=%d: stats (%d colors, %d rounds), want (%d, %d)",
+					procs, stS.Colors, stS.Rounds, wantSt.Colors, wantSt.Rounds)
 			}
 		})
 	}

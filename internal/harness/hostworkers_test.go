@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/graph"
 	"pargraph/internal/list"
@@ -105,6 +106,51 @@ func TestHostWorkersDeterminism(t *testing.T) {
 		for _, w := range workerSweep {
 			if got := runSMP(w); got != wantP {
 				t.Errorf("LabelSMP %s: stats diverge at %d workers:\n got %+v\nwant %+v", name, w, got, wantP)
+			}
+		}
+	}
+}
+
+// TestHostWorkersColoringDeterminism extends the sweep to the coloring
+// workload: simulated stats AND the coloring itself must be
+// bit-identical for SetHostWorkers(1) and every swept worker count, on
+// a skewed random graph and a mesh.
+func TestHostWorkersColoringDeterminism(t *testing.T) {
+	forceHostParallelism(t, 8)
+	for name, g := range map[string]*graph.Graph{
+		"gnm":  graph.RandomGnm(4096, 32768, 0x66),
+		"mesh": graph.Mesh2D(64, 64),
+	} {
+		runMTA := func(w int) (mta.Stats, []int32) {
+			m := mta.New(mta.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			color, _ := coloring.ColorMTA(g, m, sim.SchedDynamic)
+			return m.Stats(), color
+		}
+		wantM, wantC := runMTA(1)
+		for _, w := range workerSweep {
+			gotM, gotC := runMTA(w)
+			if gotM != wantM {
+				t.Errorf("ColorMTA %s: stats diverge at %d workers:\n got %+v\nwant %+v", name, w, gotM, wantM)
+			}
+			if err := sameColors(wantC, gotC); err != nil {
+				t.Errorf("ColorMTA %s workers=%d: %v", name, w, err)
+			}
+		}
+		runSMP := func(w int) (smp.Stats, []int32) {
+			m := smp.New(smp.DefaultConfig(8))
+			m.SetHostWorkers(w)
+			color, _ := coloring.ColorSMP(g, m)
+			return m.Stats(), color
+		}
+		wantS, wantC2 := runSMP(1)
+		for _, w := range workerSweep {
+			gotS, gotC2 := runSMP(w)
+			if gotS != wantS {
+				t.Errorf("ColorSMP %s: stats diverge at %d workers:\n got %+v\nwant %+v", name, w, gotS, wantS)
+			}
+			if err := sameColors(wantC2, gotC2); err != nil {
+				t.Errorf("ColorSMP %s workers=%d: %v", name, w, err)
 			}
 		}
 	}

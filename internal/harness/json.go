@@ -15,6 +15,7 @@ type Report struct {
 	Saturation *SaturationResult `json:"saturation,omitempty"`
 	Streams    *StreamsResult    `json:"streams,omitempty"`
 	TreeEval   *TreeEvalResult   `json:"treeEval,omitempty"`
+	Coloring   *ColoringResult   `json:"coloring,omitempty"`
 	Ablations  []*AblationResult `json:"ablations,omitempty"`
 }
 

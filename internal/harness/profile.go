@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/graph"
 	"pargraph/internal/list"
@@ -18,7 +19,7 @@ import (
 // ProfileParams configures one attribution-profiling run (cmd/profile):
 // a single kernel at a single size, traced region by region.
 type ProfileParams struct {
-	Kernel  string // "fig1" (list ranking), "fig2" (connected components), "prefix", "treecon"
+	Kernel  string // "fig1" (list ranking), "fig2" (connected components), "prefix", "treecon", "coloring"
 	Machine string // "mta", "smp", or "both"
 	N       int    // nodes / vertices / leaves
 	Procs   int
@@ -206,8 +207,30 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			return nil, err
 		}
 
+	case "coloring":
+		g := graph.RandomGnm(n, 8*n, params.Seed)
+		want, _ := coloring.Speculative(g)
+		check := func(got []int32) error {
+			if err := sameColors(want, got); err != nil {
+				return err
+			}
+			return coloring.Validate(g, got)
+		}
+		if err := runMTA(func(m *mta.Machine) error {
+			got, _ := coloring.ColorMTA(g, m, sim.SchedDynamic)
+			return check(got)
+		}); err != nil {
+			return nil, err
+		}
+		if err := runSMP(func(m *smp.Machine) error {
+			got, _ := coloring.ColorSMP(g, m)
+			return check(got)
+		}); err != nil {
+			return nil, err
+		}
+
 	default:
-		return nil, fmt.Errorf("profile: unknown kernel %q (want fig1, fig2, prefix, or treecon)", params.Kernel)
+		return nil, fmt.Errorf("profile: unknown kernel %q (want fig1, fig2, prefix, treecon, or coloring)", params.Kernel)
 	}
 	return res, nil
 }

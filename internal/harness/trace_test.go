@@ -44,6 +44,7 @@ func TestTraceWorkerDeterminism(t *testing.T) {
 	cases := []ProfileParams{
 		{Kernel: "fig1", Machine: "both", N: 30000, Procs: 8, Layout: list.Random, Seed: 0x51, SampleCycles: 500},
 		{Kernel: "fig2", Machine: "both", N: 4096, Procs: 8, Seed: 0x52, SampleCycles: 1000},
+		{Kernel: "coloring", Machine: "both", N: 4096, Procs: 8, Seed: 0x53, SampleCycles: 1000},
 	}
 	for _, params := range cases {
 		t.Run(params.Kernel, func(t *testing.T) {
@@ -69,7 +70,7 @@ func TestTraceWorkerDeterminism(t *testing.T) {
 // never exceeds capacity, and SMP per-processor busy cycles sum to the
 // memory-hierarchy categories.
 func TestTraceAttributionAccounting(t *testing.T) {
-	for _, kernel := range []string{"fig1", "fig2", "prefix", "treecon"} {
+	for _, kernel := range []string{"fig1", "fig2", "prefix", "treecon", "coloring"} {
 		t.Run(kernel, func(t *testing.T) {
 			res, err := RunProfile(ProfileParams{
 				Kernel: kernel, Machine: "both", N: 4096, Procs: 8,

@@ -101,6 +101,52 @@ func SVMTA(n, m, p, iters int) Triplet {
 	return Triplet{TM: 0, TC: perIter * float64(iters), B: 2 * float64(iters)}
 }
 
+// ColoringSMPRound is the per-round cost of speculative greedy coloring
+// on an SMP (Gebremedhin–Manne rounds, Çatalyürek et al.'s study), for
+// a round whose worklist still spans the whole graph: the assign and
+// detect passes each read the color of every neighbor — one
+// non-contiguous access per directed edge — plus a worklist entry per
+// vertex, and the round ends with assign/detect/requeue barriers.
+func ColoringSMPRound(n, m, p int) Triplet {
+	mp := float64(m) / float64(p)
+	np := float64(n) / float64(p)
+	return Triplet{
+		TM: 2 * (2*mp + np),
+		TC: 2 * (4*mp + 4*np),
+		B:  3,
+	}
+}
+
+// ColoringSMP is the worst-case total for a run that takes the given
+// number of rounds: every round rescans at most the full graph (real
+// worklists shrink, so measurements land well under this bound — the
+// same relationship SVSMP has to its log n iterations).
+func ColoringSMP(n, m, p, rounds int) Triplet {
+	if rounds < 1 {
+		rounds = 1
+	}
+	return ColoringSMPRound(n, m, p).Scale(float64(rounds))
+}
+
+// ColoringMTA predicts the MTA run from the measured work: touched is
+// the total number of worklist entries processed across all rounds (n
+// plus every requeued conflict, i.e. n + Stats.TotalConflicts()).
+// Memory latency is hidden, so cost reduces to the instruction count of
+// the neighbor scans — ~8 slots per directed-edge visit plus ~8 per
+// worklist entry, prorated by the touched fraction — and the effective
+// T_M and B are zero given abundant parallelism.
+func ColoringMTA(n, m, p, touched int) Triplet {
+	if touched < n {
+		touched = n
+	}
+	frac := float64(touched) / float64(n)
+	return Triplet{
+		TM: 0,
+		TC: frac * (8*2*float64(m) + 8*float64(n)) / float64(p),
+		B:  0,
+	}
+}
+
 // SMPSeconds converts a triplet to rough seconds on an SMP-like machine:
 // every non-contiguous access pays memLatency cycles, computation is one
 // op per cycle, and each barrier costs barrierCy.

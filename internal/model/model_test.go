@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/graph"
 	"pargraph/internal/list"
@@ -26,6 +27,8 @@ func TestPredictionsScaleWithP(t *testing.T) {
 		func(p int) Triplet { return ListRankSMP(1<<20, p) },
 		func(p int) Triplet { return ListRankMTA(1<<20, p) },
 		func(p int) Triplet { return SVSMP(1<<20, 8<<20, p) },
+		func(p int) Triplet { return ColoringSMP(1<<20, 8<<20, p, 5) },
+		func(p int) Triplet { return ColoringMTA(1<<20, 8<<20, p, 3<<20) },
 	} {
 		t1, t8 := f(1), f(8)
 		if t8.TC >= t1.TC {
@@ -35,8 +38,54 @@ func TestPredictionsScaleWithP(t *testing.T) {
 }
 
 func TestMTAPredictionsHaveNoMemoryTerm(t *testing.T) {
-	if ListRankMTA(1000, 4).TM != 0 || SVMTA(1000, 4000, 4, 5).TM != 0 {
+	if ListRankMTA(1000, 4).TM != 0 || SVMTA(1000, 4000, 4, 5).TM != 0 || ColoringMTA(1000, 4000, 4, 3).TM != 0 {
 		t.Fatal("MTA triplets should carry zero effective T_M")
+	}
+}
+
+// TestColoringSMPTrackedBySimulator: the model says the assign+detect
+// passes do on the order of 2(2m/p + n/p) non-contiguous accesses per
+// processor across a run. Non-contiguous accesses only surface as
+// misses once the color array outgrows the cache, so the run uses an
+// A5-style shrunken L2; the measured misses must then be the same power
+// of ten as the prediction, and the total references must stay under
+// the worst-case TM+TC bound regardless of cache size.
+func TestColoringSMPTrackedBySimulator(t *testing.T) {
+	const n = 1 << 16
+	const p = 4
+	g := graph.RandomGnm(n, 8*n, 5)
+	cfg := smp.DefaultConfig(p)
+	cfg.L2Bytes = 64 << 10 // color array (256 KB) no longer fits
+	m := smp.New(cfg)
+	_, st := coloring.ColorSMP(g, m)
+	perRound := ColoringSMPRound(n, g.M(), p)
+	predicted := perRound.TM * p // machine-wide, full-worklist round
+	measured := float64(m.Stats().Misses)
+	ratio := measured / predicted
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("misses %.0f vs predicted non-contiguous %.0f (ratio %.2f)", measured, predicted, ratio)
+	}
+	bound := ColoringSMP(n, g.M(), p, st.Rounds)
+	refs := float64(m.Stats().Loads+m.Stats().Stores) / float64(p)
+	if refs > bound.TM+bound.TC {
+		t.Fatalf("measured refs/proc %.0f exceed worst-case bound %.0f", refs, bound.TM+bound.TC)
+	}
+}
+
+// TestColoringMTATrackedBySimulator: with abundant parallelism the MTA
+// coloring time should approach the instruction bound TC within a small
+// factor.
+func TestColoringMTATrackedBySimulator(t *testing.T) {
+	const n = 1 << 13
+	const p = 2
+	g := graph.RandomGnm(n, 8*n, 5)
+	m := mta.New(mta.DefaultConfig(p))
+	_, st := coloring.ColorMTA(g, m, sim.SchedDynamic)
+	predicted := ColoringMTA(n, g.M(), p, n+st.TotalConflicts()).TC
+	measured := m.Cycles()
+	ratio := measured / predicted
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("cycles %.0f vs predicted %.0f (ratio %.2f)", measured, predicted, ratio)
 	}
 }
 

@@ -101,6 +101,16 @@ func TestSimulateComponentsBothMachines(t *testing.T) {
 	}
 }
 
+func TestSimulateColoringBothMachines(t *testing.T) {
+	g := RandomGraph(1<<12, 4<<12, 3)
+	for _, machine := range []Machine{MTA, SMP} {
+		res := SimulateColoring(machine, g, 4)
+		if !res.Verified || res.Seconds <= 0 || res.Cycles <= 0 {
+			t.Fatalf("%v: bad result %+v", machine, res)
+		}
+	}
+}
+
 // TestPaperHeadline is the whole paper in one assertion: on a random
 // list, the simulated MTA beats the simulated SMP by a large factor,
 // and the MTA is insensitive to layout while the SMP is not.

@@ -14,7 +14,7 @@ out=${1:-BENCH_simulators.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkHostScaling|BenchmarkSimulatorMTA$|BenchmarkSimulatorSMP$' \
+go test -run '^$' -bench 'BenchmarkHostScaling|BenchmarkSimulatorMTA$|BenchmarkSimulatorSMP$|BenchmarkSimulatorColoringMTA$|BenchmarkSimulatorColoringSMP$' \
     -benchtime 2x -count 2 . | tee "$raw"
 
 awk '

@@ -3,6 +3,7 @@ package pargraph
 import (
 	"fmt"
 
+	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/graph"
 	"pargraph/internal/list"
@@ -108,6 +109,41 @@ func SimulateComponents(machine Machine, g Graph, procs int) SimResult {
 	}
 	if !graph.SameComponents(labels, concomp.UnionFind(ig)) {
 		panic("pargraph: simulated labeling is wrong")
+	}
+	res.Verified = true
+	return res
+}
+
+// SimulateColoring runs speculative greedy coloring (the follow-up
+// study's workload, E8) on the chosen simulated machine over graph g
+// with the given processor count, verifying that the coloring is proper
+// and bit-identical to the host speculative reference.
+func SimulateColoring(machine Machine, g Graph, procs int) SimResult {
+	ig := g.internal()
+	var color []int32
+	res := SimResult{}
+	switch machine {
+	case MTA:
+		m := mta.New(mta.DefaultConfig(procs))
+		m.SetHostWorkers(hostWorkers)
+		color, _ = coloring.ColorMTA(ig, m, sim.SchedDynamic)
+		res.Seconds, res.Cycles, res.Utilization = m.Seconds(), m.Cycles(), m.Utilization()
+	case SMP:
+		m := smp.New(smp.DefaultConfig(procs))
+		m.SetHostWorkers(hostWorkers)
+		color, _ = coloring.ColorSMP(ig, m)
+		res.Seconds, res.Cycles = m.Seconds(), m.Cycles()
+	default:
+		panic(fmt.Sprintf("pargraph: unknown machine %d", machine))
+	}
+	if err := coloring.Validate(ig, color); err != nil {
+		panic(fmt.Sprintf("pargraph: simulated coloring is wrong: %v", err))
+	}
+	want, _ := coloring.Speculative(ig)
+	for i := range want {
+		if color[i] != want[i] {
+			panic(fmt.Sprintf("pargraph: simulated coloring diverges from the host reference at vertex %d", i))
+		}
 	}
 	res.Verified = true
 	return res
