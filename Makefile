@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-simulators check-host-scaling verify
+.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling verify
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,7 @@ test:
 
 # Race-check the simulator packages and the kernels that replay on them.
 race:
-	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
+	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
 
 vet:
 	$(GO) vet ./...
@@ -25,5 +25,16 @@ bench-simulators:
 # for shared-machine benchmark noise).
 check-host-scaling:
 	sh scripts/check_host_scaling.sh
+
+# Regenerate BENCH_sweeps.json (sweep wall-clock for the experiment
+# scheduler's -jobs setting on the E1 and E8 harness sweeps).
+bench-sweeps:
+	sh scripts/bench_sweeps.sh
+
+# Fail if the E1 sweep at jobs=4 is not >= 1.8x faster than jobs=1
+# (skips on hosts with fewer than 4 cores, where the scheduler caps
+# jobs at GOMAXPROCS and the curve is structurally flat).
+check-sweep-scaling:
+	sh scripts/check_sweep_scaling.sh
 
 verify: vet build test

@@ -294,6 +294,42 @@ func BenchmarkHostScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepScaling sweeps the experiment scheduler's Jobs setting
+// over two full harness sweeps — E1 (Fig. 1 list ranking, the issue's
+// acceptance workload) and E8 (speculative coloring) — measuring sweep
+// wall-clock as independent cells run concurrently.
+// scripts/bench_sweeps.sh turns the output into BENCH_sweeps.json. The
+// scheduler caps jobs at GOMAXPROCS, so on a machine with fewer cores
+// than the swept count the curve goes flat instead of inverting.
+func BenchmarkSweepScaling(b *testing.B) {
+	fig1 := harness.DefaultFig1(harness.Small)
+	coloringP := harness.DefaultColoring(harness.Small)
+	jobs := []int{1, 2, 4, 8}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 && ncpu != 8 {
+		jobs = append(jobs, ncpu)
+	}
+	oldJobs := harness.Jobs
+	defer func() { harness.Jobs = oldJobs }()
+	for _, j := range jobs {
+		b.Run(fmt.Sprintf("fig1/jobs=%d", j), func(b *testing.B) {
+			harness.Jobs = j
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunFig1(fig1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("coloring/jobs=%d", j), func(b *testing.B) {
+			harness.Jobs = j
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunColoring(coloringP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- E6/E7 extras -----------------------------------------------------
 
 func BenchmarkStreamsSweep(b *testing.B) {

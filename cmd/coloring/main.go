@@ -72,11 +72,15 @@ func main() {
 		inFile   = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
 		traceOut = flag.String("trace", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
 		attrOut  = flag.String("attr", "", "write the per-region attribution as CSV to this file (simulated machines)")
-		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
+		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
 	)
 	flag.Parse()
 	w, err := cmdutil.ResolveWorkers(*workers)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
 		log.Fatal(err)
 	}
 	if err := cmdutil.CheckPositive("-p", *procs); err != nil {

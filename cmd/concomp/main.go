@@ -69,7 +69,8 @@ func main() {
 		inFile   = flag.String("in", "", "read the graph from a DIMACS `p edge` file instead of generating")
 		outFile  = flag.String("out", "", "also write the graph to a DIMACS `p edge` file")
 		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
-		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
+		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
 	)
 	flag.Parse()
 	w, err := cmdutil.ResolveWorkers(*workers)
@@ -77,6 +78,9 @@ func main() {
 		log.Fatal(err)
 	}
 	*workers = w
+	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+		log.Fatal(err)
+	}
 	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
 		log.Fatal(err)
 	}

@@ -46,9 +46,12 @@ func main() {
 		scaleS   = flag.String("scale", "small", "problem scale: small, medium, or paper")
 		jsonFlag = flag.Bool("json", false, "emit results as JSON instead of tables")
 		csvFlag  = flag.Bool("csv", false, "emit figure/table results as CSV instead of tables")
-		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
+		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently per sweep (0 = NumCPU); results are identical for any value")
 		traceOut = flag.String("trace", "", "record every simulated machine's attribution trace and write Chrome trace JSON to this file")
 		attrOut  = flag.String("attr", "", "with tracing, also write the per-region attribution as CSV to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +60,22 @@ func main() {
 		log.Fatal(err)
 	}
 	harness.HostWorkers = w
+	j, err := cmdutil.ResolveJobs(*jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.Jobs = j
+
+	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := cmdutil.WriteHeapProfile(*memProf); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var rec *trace.Recorder
 	if *traceOut != "" || *attrOut != "" {

@@ -40,7 +40,8 @@ func main() {
 		verify   = flag.Bool("verify", true, "cross-check ranks against the sequential walk")
 		traceFl  = flag.Bool("trace", false, "print a per-region execution trace (simulated machines)")
 		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
-		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); results are identical for any value")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
+		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
 	)
 	flag.Parse()
 	w, err := cmdutil.ResolveWorkers(*workers)
@@ -48,6 +49,9 @@ func main() {
 		log.Fatal(err)
 	}
 	*workers = w
+	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+		log.Fatal(err)
+	}
 	if err := cmdutil.CheckPositive("-n", *n); err != nil {
 		log.Fatal(err)
 	}

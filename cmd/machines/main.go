@@ -10,17 +10,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"text/tabwriter"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/mta"
 	"pargraph/internal/smp"
 	"pargraph/internal/trace"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("machines: ")
 	procs := flag.Int("p", 8, "processor count to instantiate")
+	jobs := flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command only prints configurations")
 	flag.Parse()
+	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+		log.Fatal(err)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 

@@ -42,7 +42,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write Chrome trace_event JSON to this file")
 		attr     = flag.String("attr", "table", "attribution format on stdout: table, csv, json, or none")
 		timeline = flag.Float64("timeline", 0, "print a utilization timeline with this bucket width in cycles (0 = off)")
-		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = NumCPU); output is identical for any value")
+		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); output is identical for any value")
+		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently (with -machine both the two machines are separate cells; 0 = NumCPU); output is identical for any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +54,22 @@ func main() {
 		log.Fatal(err)
 	}
 	harness.HostWorkers = w
+	j, err := cmdutil.ResolveJobs(*jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.Jobs = j
+
+	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := cmdutil.WriteHeapProfile(*memProf); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var layout list.Layout
 	switch *layoutS {

@@ -10,18 +10,32 @@ import (
 )
 
 // ResolveWorkers validates a -workers flag value: negative values are
-// rejected, 0 means one worker per host CPU, and positive values pass
-// through. The clamping inside the machines' SetHostWorkers is a
-// backstop, not the interface — every cmd resolves the flag here so a
-// typo'd "-workers -1" fails loudly instead of silently running serial.
+// rejected, 0 passes through as the machines' auto mode (use every host
+// core, but keep regions too small to repay sharding on the serial
+// path — see SetHostWorkers in internal/mta and internal/smp), and
+// positive values pass through as explicit counts. The clamping inside
+// the machines' SetHostWorkers is a backstop, not the interface — every
+// cmd resolves the flag here so a typo'd "-workers -1" fails loudly
+// instead of silently running serial.
 func ResolveWorkers(w int) (int, error) {
 	if w < 0 {
-		return 0, fmt.Errorf("-workers must be >= 0 (0 = one per host CPU), got %d", w)
-	}
-	if w == 0 {
-		return runtime.NumCPU(), nil
+		return 0, fmt.Errorf("-workers must be >= 0 (0 = auto: one per host CPU with a serial fallback for small regions), got %d", w)
 	}
 	return w, nil
+}
+
+// ResolveJobs validates a -jobs flag value: negative values are
+// rejected, 0 means one concurrent experiment cell per host CPU, and
+// positive values pass through. The sweep scheduler's own GOMAXPROCS
+// cap is a backstop, as with ResolveWorkers.
+func ResolveJobs(j int) (int, error) {
+	if j < 0 {
+		return 0, fmt.Errorf("-jobs must be >= 0 (0 = one per host CPU), got %d", j)
+	}
+	if j == 0 {
+		return runtime.NumCPU(), nil
+	}
+	return j, nil
 }
 
 // CheckPositive rejects non-positive values of a size flag.

@@ -1,6 +1,7 @@
 package cmdutil
 
 import (
+	"os"
 	"runtime"
 	"testing"
 )
@@ -12,11 +13,56 @@ func TestResolveWorkers(t *testing.T) {
 	if _, err := ResolveWorkers(-100); err == nil {
 		t.Error("very negative workers accepted")
 	}
-	if w, err := ResolveWorkers(0); err != nil || w != runtime.NumCPU() {
-		t.Errorf("ResolveWorkers(0) = %d, %v; want NumCPU=%d", w, err, runtime.NumCPU())
+	// 0 passes through: it is the machines' auto mode, resolved by
+	// SetHostWorkers, not here.
+	if w, err := ResolveWorkers(0); err != nil || w != 0 {
+		t.Errorf("ResolveWorkers(0) = %d, %v; want 0 (auto)", w, err)
 	}
 	if w, err := ResolveWorkers(3); err != nil || w != 3 {
 		t.Errorf("ResolveWorkers(3) = %d, %v; want 3", w, err)
+	}
+}
+
+func TestResolveJobs(t *testing.T) {
+	if _, err := ResolveJobs(-1); err == nil {
+		t.Error("negative jobs accepted")
+	}
+	if j, err := ResolveJobs(0); err != nil || j != runtime.NumCPU() {
+		t.Errorf("ResolveJobs(0) = %d, %v; want NumCPU=%d", j, err, runtime.NumCPU())
+	}
+	if j, err := ResolveJobs(5); err != nil || j != 5 {
+		t.Errorf("ResolveJobs(5) = %d, %v; want 5", j, err)
+	}
+}
+
+func TestProfileHelpersEmptyPathNoOp(t *testing.T) {
+	stop, err := StartCPUProfile("")
+	if err != nil {
+		t.Fatalf("StartCPUProfile(\"\"): %v", err)
+	}
+	stop()
+	if err := WriteHeapProfile(""); err != nil {
+		t.Fatalf("WriteHeapProfile(\"\"): %v", err)
+	}
+}
+
+func TestProfileHelpersWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	stop()
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Errorf("cpu profile not written: %v", err)
+	}
+	heap := dir + "/heap.pprof"
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	if st, err := os.Stat(heap); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
 	}
 }
 

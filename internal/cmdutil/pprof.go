@@ -1,0 +1,49 @@
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile opens path and starts the Go CPU profiler, returning
+// a stop function the caller defers: it stops the profiler and closes
+// the file. An empty path is a no-op returning a no-op stop, so cmds
+// can call it unconditionally with their -cpuprofile flag value.
+func StartCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("-cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile forces a GC (so the profile reflects live objects,
+// not garbage awaiting collection) and writes the heap profile to path.
+// An empty path is a no-op, mirroring StartCPUProfile.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pargraph/internal/rng"
 )
@@ -20,9 +21,16 @@ type Edge struct {
 // Graph is an undirected graph held as an edge list, the input format of
 // Shiloach–Vishkin. Vertices are 0..N-1. Self-loops are permitted but
 // the generators here never produce them; parallel edges never appear.
+//
+// The CSR view is memoized on first use (see ToCSR), so a Graph must not
+// be copied by value and Edges must not change after the first ToCSR
+// call. The generators in this package finish mutating before returning.
 type Graph struct {
 	N     int
 	Edges []Edge
+
+	csrOnce sync.Once
+	csr     *CSR
 }
 
 // M returns the number of edges.
@@ -49,8 +57,18 @@ type CSR struct {
 	Col    []int32 // length 2M
 }
 
-// ToCSR builds the adjacency view with a counting sort over endpoints.
+// ToCSR returns the adjacency view, building it with a counting sort
+// over endpoints on first call and returning the same *CSR afterwards.
+// The memoization is concurrency-safe, so scheduled experiment cells
+// sharing one cached Graph (internal/sweep) build its CSR exactly once;
+// kernels that call ToCSR repeatedly (coloring calls it per phase) pay
+// for one build. Callers must treat the result as read-only.
 func (g *Graph) ToCSR() *CSR {
+	g.csrOnce.Do(func() { g.csr = g.buildCSR() })
+	return g.csr
+}
+
+func (g *Graph) buildCSR() *CSR {
 	n := g.N
 	deg := make([]int32, n+1)
 	for _, e := range g.Edges {

@@ -51,7 +51,6 @@ func (r *AblationResult) WriteText(w io.Writer) {
 // few streams and dynamic scheduling wins clearly.
 func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A1: MTA walk scheduling (random list, n=%d, p=%d)", n, procs)}
-	l := list.New(n, list.Random, seed)
 	cfg := mta.DefaultConfig(procs)
 	streams := cfg.UseStreams * procs
 	grains := []struct {
@@ -61,19 +60,26 @@ func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 		{"fine walks (~10 nodes)", n / listrank.DefaultNodesPerWalk},
 		{"coarse walks (~2 per stream)", 2 * streams},
 	}
-	for _, g := range grains {
-		for _, sched := range []struct {
-			name string
-			s    sim.Sched
-		}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}} {
-			m := newMTA(cfg)
-			listrank.RankMTA(l, m, g.nwalk, sched.s)
-			res.Rows = append(res.Rows, AblationRow{
-				Config:  g.name + ", " + sched.name,
-				Seconds: m.Seconds(),
-				Extra:   fmt.Sprintf("utilization %.0f%%", m.Utilization()*100),
-			})
+	scheds := []struct {
+		name string
+		s    sim.Sched
+	}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}}
+	res.Rows = make([]AblationRow, len(grains)*len(scheds))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		g, sched := grains[idx/len(scheds)], scheds[idx%len(scheds)]
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+			func() *list.List { return list.New(n, list.Random, seed) })
+		m := c.MTA(cfg)
+		listrank.RankMTA(l, m, g.nwalk, sched.s)
+		res.Rows[idx] = AblationRow{
+			Config:  g.name + ", " + sched.name,
+			Seconds: m.Seconds(),
+			Extra:   fmt.Sprintf("utilization %.0f%%", m.Utilization()*100),
 		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -84,10 +90,13 @@ func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 // bank; hashing spreads the same references evenly.
 func RunAblHashing(refs, procs int) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A2: MTA address hashing (stride sweep, %d refs, p=%d)", refs, procs)}
-	for _, hashed := range []bool{true, false} {
+	hashedBy := []bool{true, false}
+	res.Rows = make([]AblationRow, len(hashedBy))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		hashed := hashedBy[idx]
 		cfg := mta.DefaultConfig(procs)
 		cfg.HashMemory = hashed
-		m := newMTA(cfg)
+		m := c.MTA(cfg)
 		stride := uint64(cfg.Banks) // worst case: every ref to one bank
 		m.ParallelFor(refs/8, sim.SchedDynamic, func(i int, t *mta.Thread) {
 			for k := 0; k < 8; k++ {
@@ -99,11 +108,15 @@ func RunAblHashing(refs, procs int) *AblationResult {
 		if hashed {
 			name = "hashing on (MTA-2 behaviour)"
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		res.Rows[idx] = AblationRow{
 			Config:  name,
 			Seconds: m.Seconds(),
 			Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -114,20 +127,27 @@ func RunAblHashing(refs, procs int) *AblationResult {
 // s = 8p.
 func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A3: SMP sublist count (random list, n=%d, p=%d)", n, procs)}
-	l := list.New(n, list.Random, seed)
-	for _, f := range factors {
+	res.Rows = make([]AblationRow, len(factors))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		f := factors[idx]
 		s := f * procs
-		m := newSMP(smp.DefaultConfig(procs))
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+			func() *list.List { return list.New(n, list.Random, seed) })
+		m := c.SMP(smp.DefaultConfig(procs))
 		listrank.RankSMP(l, m, s, seed^uint64(s))
 		extra := ""
 		if f == 8 {
 			extra = "paper's choice"
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		res.Rows[idx] = AblationRow{
 			Config:  fmt.Sprintf("s=%dp (%d)", f, s),
 			Seconds: m.Seconds(),
 			Extra:   extra,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -137,30 +157,35 @@ func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
 // computation) on the MTA — the design choice §4 discusses.
 func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A4: SV shortcut strategy on the MTA (n=%d, m=%d)", n, edgeFactor*n)}
-	g := graph.RandomGnm(n, edgeFactor*n, seed)
-	want := concomp.UnionFind(g)
-
-	m1 := newMTA(mta.DefaultConfig(procs))
-	got := concomp.LabelMTA(g, m1, sim.SchedDynamic)
-	if !graph.SameComponents(want, got) {
-		panic("harness: A4 full-shortcut labeling is wrong")
+	variants := []struct {
+		config string
+		bad    string
+		label  func(*graph.Graph, *mta.Machine, sim.Sched) []int32
+	}{
+		{"Alg. 3: full shortcut, no star check", "harness: A4 full-shortcut labeling is wrong", concomp.LabelMTA},
+		{"Alg. 2: single shortcut + star check", "harness: A4 star-check labeling is wrong", concomp.LabelMTAStarCheck},
 	}
-	res.Rows = append(res.Rows, AblationRow{
-		Config:  "Alg. 3: full shortcut, no star check",
-		Seconds: m1.Seconds(),
-		Extra:   fmt.Sprintf("%d regions", m1.Stats().Regions),
+	res.Rows = make([]AblationRow, len(variants))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		v := variants[idx]
+		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, edgeFactor*n, seed)
+		g := cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, edgeFactor*n, seed) })
+		want := cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
+		m := c.MTA(mta.DefaultConfig(procs))
+		got := v.label(g, m, sim.SchedDynamic)
+		if !graph.SameComponents(want, got) {
+			panic(v.bad)
+		}
+		res.Rows[idx] = AblationRow{
+			Config:  v.config,
+			Seconds: m.Seconds(),
+			Extra:   fmt.Sprintf("%d regions", m.Stats().Regions),
+		}
+		return nil
 	})
-
-	m2 := newMTA(mta.DefaultConfig(procs))
-	got = concomp.LabelMTAStarCheck(g, m2, sim.SchedDynamic)
-	if !graph.SameComponents(want, got) {
-		panic("harness: A4 star-check labeling is wrong")
+	if err != nil {
+		panic(err)
 	}
-	res.Rows = append(res.Rows, AblationRow{
-		Config:  "Alg. 2: single shortcut + star check",
-		Seconds: m2.Seconds(),
-		Extra:   fmt.Sprintf("%d regions", m2.Stats().Regions),
-	})
 	return res
 }
 
@@ -169,21 +194,28 @@ func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 // shrink once the working set fits.
 func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A5: SMP L2 capacity vs random-list penalty (n=%d, p=%d)", n, procs)}
-	for _, mb := range l2MB {
+	res.Rows = make([]AblationRow, len(l2MB))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		mb := l2MB[idx]
 		var secs [2]float64
 		for li, layout := range []list.Layout{list.Ordered, list.Random} {
-			l := list.New(n, layout, seed)
+			l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, layout, seed),
+				func() *list.List { return list.New(n, layout, seed) })
 			cfg := smp.DefaultConfig(procs)
 			cfg.L2Bytes = mb << 20
-			m := newSMP(cfg)
+			m := c.SMP(cfg)
 			listrank.RankSMP(l, m, 8*procs, seed^uint64(mb))
 			secs[li] = m.Seconds()
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		res.Rows[idx] = AblationRow{
 			Config:  fmt.Sprintf("L2=%dMB", mb),
 			Seconds: secs[1],
 			Extra:   fmt.Sprintf("random/ordered gap %.1fx", secs[1]/secs[0]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -193,22 +225,29 @@ func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
 // caches removes conflict misses, leaving only capacity misses.
 func RunAblAssociativity(n, procs int, assocs []int, seed uint64) *AblationResult {
 	res := &AblationResult{Title: fmt.Sprintf("A6: SMP cache associativity (random list, n=%d, p=%d)", n, procs)}
-	l := list.New(n, list.Random, seed)
-	for _, a := range assocs {
+	res.Rows = make([]AblationRow, len(assocs))
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		a := assocs[idx]
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+			func() *list.List { return list.New(n, list.Random, seed) })
 		cfg := smp.DefaultConfig(procs)
 		cfg.L1Assoc = a
 		cfg.L2Assoc = a
-		m := newSMP(cfg)
+		m := c.SMP(cfg)
 		listrank.RankSMP(l, m, 8*procs, seed^uint64(a))
 		extra := ""
 		if a == 1 {
 			extra = "direct mapped (E4500)"
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		res.Rows[idx] = AblationRow{
 			Config:  fmt.Sprintf("%d-way", a),
 			Seconds: m.Seconds(),
 			Extra:   extra,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -223,30 +262,36 @@ func RunAblReduction(n, procs int) *AblationResult {
 	const valsBase = uint64(9) << 40
 	const counter = uint64(10) << 40
 
-	mHot := newMTA(mta.DefaultConfig(procs))
-	mHot.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
-		t.Load(valsBase + uint64(i))
-		t.FetchAdd(counter)
+	res.Rows = make([]AblationRow, 2)
+	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
+		m := c.MTA(mta.DefaultConfig(procs))
+		var config string
+		if idx == 0 {
+			config = "int_fetch_add on one counter"
+			m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
+				t.Load(valsBase + uint64(i))
+				t.FetchAdd(counter)
+			})
+		} else {
+			config = "stream-local partials + combine"
+			m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
+				t.Load(valsBase + uint64(i))
+				t.Instr(1) // accumulate into a stream-local register
+			})
+			streams := m.Config().UseStreams * procs
+			m.ParallelFor(streams, sim.SchedDynamic, func(i int, t *mta.Thread) {
+				t.FetchAdd(counter) // one combine per stream
+			})
+		}
+		res.Rows[idx] = AblationRow{
+			Config:  config,
+			Seconds: m.Seconds(),
+			Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
+		}
+		return nil
 	})
-	res.Rows = append(res.Rows, AblationRow{
-		Config:  "int_fetch_add on one counter",
-		Seconds: mHot.Seconds(),
-		Extra:   fmt.Sprintf("bank-stall cycles %.0f", mHot.Stats().BankStalls),
-	})
-
-	mTree := newMTA(mta.DefaultConfig(procs))
-	mTree.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
-		t.Load(valsBase + uint64(i))
-		t.Instr(1) // accumulate into a stream-local register
-	})
-	streams := mTree.Config().UseStreams * procs
-	mTree.ParallelFor(streams, sim.SchedDynamic, func(i int, t *mta.Thread) {
-		t.FetchAdd(counter) // one combine per stream
-	})
-	res.Rows = append(res.Rows, AblationRow{
-		Config:  "stream-local partials + combine",
-		Seconds: mTree.Seconds(),
-		Extra:   fmt.Sprintf("bank-stall cycles %.0f", mTree.Stats().BankStalls),
-	})
+	if err != nil {
+		panic(err)
+	}
 	return res
 }

@@ -100,59 +100,84 @@ func coloringInputs(params ColoringParams) ([]string, []*graph.Graph) {
 	return names, graphs
 }
 
+// specRef is the cached host reference for one coloring input: the
+// speculative coloring and its round statistics, shared read-only by
+// the dynamics cell and every timing cell on that input.
+type specRef struct {
+	color []int32
+	st    coloring.Stats
+}
+
 // RunColoring executes the sweep, verifying every machine run against
 // the host reference (bit-identical colors) and the proper-coloring
-// invariant when params.Verify is set.
+// invariant when params.Verify is set. Per input graph there is one
+// dynamics cell plus one timing cell per processor count, in sequential
+// order; the graph, its CSR, and the speculative reference are each
+// built once per input and shared across the cells.
 func RunColoring(params ColoringParams) (*ColoringResult, error) {
-	res := &ColoringResult{}
 	names, graphs := coloringInputs(params)
-	for gi, g := range graphs {
-		name := names[gi]
-		want, wantSt := coloring.Speculative(g)
-		if params.Verify {
-			if err := coloring.Validate(g, want); err != nil {
-				return nil, fmt.Errorf("coloring %s: reference is improper: %w", name, err)
-			}
-		}
-		res.Dynamics = append(res.Dynamics, ColoringDynamics{
-			Input: name, N: g.N, M: g.M(),
-			SeqColors:  paletteSize(coloring.Sequential(g)),
-			SpecColors: wantSt.Colors,
-			Rounds:     wantSt.Rounds,
-			Conflicts:  wantSt.Conflicts,
+	nP := len(params.Procs)
+	stride := 1 + nP // cells per input: dynamics, then one per procs
+	dynamics := make([]ColoringDynamics, len(graphs))
+	rows := make([]ColoringRow, len(graphs)*nP)
+	_, err := runSweep(len(graphs)*stride, stdOpts(), func(idx int, c *Cell) error {
+		gi := idx / stride
+		name, g := names[gi], graphs[gi]
+		ref := cached(c, "specref/"+name, func() specRef {
+			color, st := coloring.Speculative(g)
+			return specRef{color: color, st: st}
 		})
 
-		for _, procs := range params.Procs {
+		if pi := idx%stride - 1; pi < 0 {
+			// Dynamics cell: the machine-independent round behaviour.
+			if params.Verify {
+				if err := coloring.Validate(g, ref.color); err != nil {
+					return fmt.Errorf("coloring %s: reference is improper: %w", name, err)
+				}
+			}
+			dynamics[gi] = ColoringDynamics{
+				Input: name, N: g.N, M: g.M(),
+				SeqColors:  paletteSize(coloring.Sequential(g)),
+				SpecColors: ref.st.Colors,
+				Rounds:     ref.st.Rounds,
+				Conflicts:  ref.st.Conflicts,
+			}
+			return nil
+		} else {
+			procs := params.Procs[pi]
 			row := ColoringRow{Input: name, Procs: procs}
 
-			mm := newMTA(mta.DefaultConfig(procs))
+			mm := c.MTA(mta.DefaultConfig(procs))
 			gotM, stM := coloring.ColorMTA(g, mm, sim.SchedDynamic)
 			if params.Verify {
-				if err := sameColors(want, gotM); err != nil {
-					return nil, fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
+				if err := sameColors(ref.color, gotM); err != nil {
+					return fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
 				}
-				if stM.Rounds != wantSt.Rounds {
-					return nil, fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, wantSt.Rounds)
+				if stM.Rounds != ref.st.Rounds {
+					return fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, ref.st.Rounds)
 				}
 			}
 			row.MTASeconds = mm.Seconds()
 
-			sm := newSMP(smp.DefaultConfig(procs))
+			sm := c.SMP(smp.DefaultConfig(procs))
 			gotS, stS := coloring.ColorSMP(g, sm)
 			if params.Verify {
-				if err := sameColors(want, gotS); err != nil {
-					return nil, fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
+				if err := sameColors(ref.color, gotS); err != nil {
+					return fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
 				}
-				if stS.Rounds != wantSt.Rounds {
-					return nil, fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, wantSt.Rounds)
+				if stS.Rounds != ref.st.Rounds {
+					return fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, ref.st.Rounds)
 				}
 			}
 			row.SMPSeconds = sm.Seconds()
-
-			res.Rows = append(res.Rows, row)
+			rows[gi*nP+pi] = row
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ColoringResult{Dynamics: dynamics, Rows: rows}, nil
 }
 
 // paletteSize counts the distinct colors in a complete coloring.
@@ -237,22 +262,33 @@ func (r *ColoringResult) WriteCSV(w io.Writer) error {
 func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationResult {
 	n := 1 << scale
 	res := &AblationResult{Title: fmt.Sprintf("A8: MTA coloring scheduling (rmat s=%d, m=%dn, p=%d)", scale, edgeFactor, procs)}
-	g := graph.RMAT(scale, edgeFactor*n, seed)
-	want, _ := coloring.Speculative(g)
-	for _, sched := range []struct {
+	scheds := []struct {
 		name string
 		s    sim.Sched
-	}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}} {
-		m := newMTA(mta.DefaultConfig(procs))
+	}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}}
+	res.Rows = make([]AblationRow, len(scheds))
+	err := ablSweep(len(scheds), func(idx int, c *Cell) error {
+		sched := scheds[idx]
+		gKey := fmt.Sprintf("rmat/%d/%d/%d", scale, edgeFactor*n, seed)
+		g := cached(c, gKey, func() *graph.Graph { return graph.RMAT(scale, edgeFactor*n, seed) })
+		want := cached(c, gKey+"/specref", func() []int32 {
+			color, _ := coloring.Speculative(g)
+			return color
+		})
+		m := c.MTA(mta.DefaultConfig(procs))
 		got, st := coloring.ColorMTA(g, m, sched.s)
 		if err := sameColors(want, got); err != nil {
-			panic(fmt.Sprintf("harness: A8 %s coloring diverged: %v", sched.name, err))
+			return fmt.Errorf("harness: A8 %s coloring diverged: %w", sched.name, err)
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		res.Rows[idx] = AblationRow{
 			Config:  sched.name,
 			Seconds: m.Seconds(),
 			Extra:   fmt.Sprintf("%d colors, %d rounds, utilization %.0f%%", st.Colors, st.Rounds, m.Utilization()*100),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err) // invariant violation, as in the sequential harness
 	}
 	return res
 }

@@ -135,19 +135,25 @@ type SaturationRow struct {
 	Utilization float64
 }
 
-// RunSaturation sweeps list length per processor for each p.
+// RunSaturation sweeps list length per processor for each p, one
+// scheduled cell per (p, length) pair.
 func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
-	res := &SaturationResult{}
-	for _, p := range procs {
-		for _, k := range perProc {
-			n := k * p
-			l := list.New(n, list.Random, seed+uint64(n))
-			m := newMTA(mta.DefaultConfig(p))
-			listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
-			res.Rows = append(res.Rows, SaturationRow{Procs: p, N: n, Utilization: m.Utilization()})
-		}
+	nK := len(perProc)
+	rows := make([]SaturationRow, len(procs)*nK)
+	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+		p := procs[idx/nK]
+		n := perProc[idx%nK] * p
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed+uint64(n)),
+			func() *list.List { return list.New(n, list.Random, seed+uint64(n)) })
+		m := c.MTA(mta.DefaultConfig(p))
+		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+		rows[idx] = SaturationRow{Procs: p, N: n, Utilization: m.Utilization()}
+		return nil
+	})
+	if err != nil {
+		panic(err) // no verification here: only a panicked cell can fail
 	}
-	return res
+	return &SaturationResult{Rows: rows}
 }
 
 // WriteText prints the saturation sweep.
@@ -177,18 +183,24 @@ type StreamsRow struct {
 }
 
 // RunStreams sweeps the number of streams used per processor for
-// list ranking on a Random list.
+// list ranking on a Random list, one cell per stream count; the list
+// is built once and shared.
 func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
-	res := &StreamsResult{}
-	l := list.New(n, list.Random, seed)
-	for _, s := range streams {
+	rows := make([]StreamsRow, len(streams))
+	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+			func() *list.List { return list.New(n, list.Random, seed) })
 		cfg := mta.DefaultConfig(procs)
-		cfg.UseStreams = s
-		m := newMTA(cfg)
+		cfg.UseStreams = streams[idx]
+		m := c.MTA(cfg)
 		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
-		res.Rows = append(res.Rows, StreamsRow{Streams: s, Seconds: m.Seconds(), Utilization: m.Utilization()})
+		rows[idx] = StreamsRow{Streams: streams[idx], Seconds: m.Seconds(), Utilization: m.Utilization()}
+		return nil
+	})
+	if err != nil {
+		panic(err) // no verification here: only a panicked cell can fail
 	}
-	return res
+	return &StreamsResult{Rows: rows}
 }
 
 // WriteText prints the sweep.
@@ -220,23 +232,36 @@ type TreeEvalRow struct {
 }
 
 // RunTreeEval evaluates random expressions of each size on both machine
-// models, verifying every result against the sequential evaluator.
+// models, verifying every result against the sequential evaluator. One
+// cell per size; the expression and its sequential value are built once
+// per size and shared by both machine runs.
 func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) {
-	res := &TreeEvalResult{Procs: procs}
-	for _, nl := range leaves {
-		e := treecon.RandomExpr(nl, seed+uint64(nl))
-		want := treecon.EvalSequential(e)
-		mm := newMTA(mta.DefaultConfig(procs))
-		if got := treecon.EvalMTA(e, mm, sim.SchedDynamic); got != want {
-			return nil, fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
-		}
-		sm := newSMP(smp.DefaultConfig(procs))
-		if got := treecon.EvalSMP(e, sm, seed^uint64(nl)); got != want {
-			return nil, fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
-		}
-		res.Rows = append(res.Rows, TreeEvalRow{Leaves: nl, MTASeconds: mm.Seconds(), SMPSeconds: sm.Seconds()})
+	type exprRef struct {
+		e    *treecon.Expr
+		want int64
 	}
-	return res, nil
+	rows := make([]TreeEvalRow, len(leaves))
+	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+		nl := leaves[idx]
+		ref := cached(c, fmt.Sprintf("expr/%d/%d", nl, seed+uint64(nl)), func() exprRef {
+			e := treecon.RandomExpr(nl, seed+uint64(nl))
+			return exprRef{e: e, want: treecon.EvalSequential(e)}
+		})
+		mm := c.MTA(mta.DefaultConfig(procs))
+		if got := treecon.EvalMTA(ref.e, mm, sim.SchedDynamic); got != ref.want {
+			return fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
+		}
+		sm := c.SMP(smp.DefaultConfig(procs))
+		if got := treecon.EvalSMP(ref.e, sm, seed^uint64(nl)); got != ref.want {
+			return fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
+		}
+		rows[idx] = TreeEvalRow{Leaves: nl, MTASeconds: mm.Seconds(), SMPSeconds: sm.Seconds()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TreeEvalResult{Procs: procs, Rows: rows}, nil
 }
 
 // WriteText prints the comparison.

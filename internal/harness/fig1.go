@@ -52,33 +52,55 @@ type Fig1Result struct {
 	Series []Series
 }
 
-// RunFig1 executes the sweep.
+// RunFig1 executes the sweep. Cells — one per (layout, procs, size),
+// laid out in the sequential loop order — run under the harness Jobs
+// setting; each list is generated once per (size, layout) and shared
+// read-only by every processor count that ranks it.
 func RunFig1(params Fig1Params) (*Fig1Result, error) {
+	nP, nS := len(params.Procs), len(params.Sizes)
+	type cellOut struct{ mta, smp Point }
+	outs := make([]cellOut, len(params.Layouts)*nP*nS)
+	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
+		layout := params.Layouts[idx/(nP*nS)]
+		procs := params.Procs[idx/nS%nP]
+		n := params.Sizes[idx%nS]
+		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, layout, params.Seed+uint64(n)),
+			func() *list.List { return list.New(n, layout, params.Seed+uint64(n)) })
+
+		mm := c.MTA(mta.DefaultConfig(procs))
+		rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
+		if params.Verify {
+			if err := l.VerifyRanks(rank); err != nil {
+				return fmt.Errorf("fig1 MTA n=%d p=%d: %w", n, procs, err)
+			}
+		}
+
+		sm := c.SMP(smp.DefaultConfig(procs))
+		rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
+		if params.Verify {
+			if err := l.VerifyRanks(rank); err != nil {
+				return fmt.Errorf("fig1 SMP n=%d p=%d: %w", n, procs, err)
+			}
+		}
+		outs[idx] = cellOut{
+			mta: Point{X: float64(n), Seconds: mm.Seconds()},
+			smp: Point{X: float64(n), Seconds: sm.Seconds()},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig1Result{}
-	for _, layout := range params.Layouts {
-		for _, procs := range params.Procs {
+	for li, layout := range params.Layouts {
+		for pi, procs := range params.Procs {
 			mtaSeries := Series{Machine: "MTA", Workload: layout.String(), Procs: procs}
 			smpSeries := Series{Machine: "SMP", Workload: layout.String(), Procs: procs}
-			for _, n := range params.Sizes {
-				l := list.New(n, layout, params.Seed+uint64(n))
-
-				mm := newMTA(mta.DefaultConfig(procs))
-				rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
-				if params.Verify {
-					if err := l.VerifyRanks(rank); err != nil {
-						return nil, fmt.Errorf("fig1 MTA n=%d p=%d: %w", n, procs, err)
-					}
-				}
-				mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(n), Seconds: mm.Seconds()})
-
-				sm := newSMP(smp.DefaultConfig(procs))
-				rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
-				if params.Verify {
-					if err := l.VerifyRanks(rank); err != nil {
-						return nil, fmt.Errorf("fig1 SMP n=%d p=%d: %w", n, procs, err)
-					}
-				}
-				smpSeries.Points = append(smpSeries.Points, Point{X: float64(n), Seconds: sm.Seconds()})
+			for si := range params.Sizes {
+				o := outs[(li*nP+pi)*nS+si]
+				mtaSeries.Points = append(mtaSeries.Points, o.mta)
+				smpSeries.Points = append(smpSeries.Points, o.smp)
 			}
 			res.Series = append(res.Series, mtaSeries, smpSeries)
 		}

@@ -49,34 +49,57 @@ type Fig2Result struct {
 	Series []Series
 }
 
-// RunFig2 executes the sweep.
+// RunFig2 executes the sweep. Cells — one per (procs, edge factor), in
+// sequential loop order — run under the harness Jobs setting; each
+// random graph, its CSR, and its union-find verification reference are
+// built once per edge factor and shared by every processor count.
 func RunFig2(params Fig2Params) (*Fig2Result, error) {
+	nF := len(params.EdgeFactors)
+	type cellOut struct{ mta, smp Point }
+	outs := make([]cellOut, len(params.Procs)*nF)
+	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
+		procs := params.Procs[idx/nF]
+		f := params.EdgeFactors[idx%nF]
+		m := f * params.N
+		gKey := fmt.Sprintf("gnm/%d/%d/%d", params.N, m, params.Seed+uint64(f))
+		g := cached(c, gKey, func() *graph.Graph {
+			return graph.RandomGnm(params.N, m, params.Seed+uint64(f))
+		})
+		var want []int32
+		if params.Verify {
+			want = cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
+		}
+
+		mm := c.MTA(mta.DefaultConfig(procs))
+		got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
+		if params.Verify && !graph.SameComponents(want, got) {
+			return fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
+		}
+
+		sm := c.SMP(smp.DefaultConfig(procs))
+		got = concomp.LabelSMP(g, sm)
+		if params.Verify && !graph.SameComponents(want, got) {
+			return fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)
+		}
+		outs[idx] = cellOut{
+			mta: Point{X: float64(m), Seconds: mm.Seconds()},
+			smp: Point{X: float64(m), Seconds: sm.Seconds()},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig2Result{N: params.N}
 	workload := fmt.Sprintf("G(%d,m)", params.N)
-	for _, procs := range params.Procs {
+	for pi, procs := range params.Procs {
 		mtaSeries := Series{Machine: "MTA", Workload: workload, Procs: procs}
 		smpSeries := Series{Machine: "SMP", Workload: workload, Procs: procs}
-		for _, f := range params.EdgeFactors {
-			m := f * params.N
-			g := graph.RandomGnm(params.N, m, params.Seed+uint64(f))
-			var want []int32
-			if params.Verify {
-				want = concomp.UnionFind(g)
-			}
-
-			mm := newMTA(mta.DefaultConfig(procs))
-			got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
-			if params.Verify && !graph.SameComponents(want, got) {
-				return nil, fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
-			}
-			mtaSeries.Points = append(mtaSeries.Points, Point{X: float64(m), Seconds: mm.Seconds()})
-
-			sm := newSMP(smp.DefaultConfig(procs))
-			got = concomp.LabelSMP(g, sm)
-			if params.Verify && !graph.SameComponents(want, got) {
-				return nil, fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)
-			}
-			smpSeries.Points = append(smpSeries.Points, Point{X: float64(m), Seconds: sm.Seconds()})
+		for fi := range params.EdgeFactors {
+			o := outs[pi*nF+fi]
+			mtaSeries.Points = append(mtaSeries.Points, o.mta)
+			smpSeries.Points = append(smpSeries.Points, o.smp)
 		}
 		res.Series = append(res.Series, mtaSeries, smpSeries)
 	}

@@ -64,7 +64,10 @@ type ProfileResult struct {
 // requested machine(s), verifying each result against the sequential
 // reference. Events are emitted at region commit on the kernel's
 // goroutine, so the recorded stream (and everything rendered from it)
-// is bit-identical for any HostWorkers value.
+// is bit-identical for any HostWorkers value. With Machine "both" the
+// two machines are separate scheduled cells (run concurrently under
+// -jobs) sharing the cached input; their recorders are concatenated
+// MTA-first, exactly the sequential emission order.
 func RunProfile(params ProfileParams) (*ProfileResult, error) {
 	if params.N < 2 {
 		return nil, fmt.Errorf("profile: n must be at least 2, got %d", params.N)
@@ -84,91 +87,68 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		return nil, fmt.Errorf("profile: unknown machine %q (want mta, smp, or both)", params.Machine)
 	}
 
-	rec := &trace.Recorder{}
-	res := &ProfileResult{Params: params, Recorder: rec}
-
-	runMTA := func(kernel func(m *mta.Machine) error) error {
-		if !wantMTA {
-			return nil
-		}
-		m := mta.New(mta.DefaultConfig(params.Procs))
-		m.SetHostWorkers(HostWorkers)
-		m.SetSink(rec)
-		m.SetTraceSampling(params.SampleCycles)
-		before := len(rec.Events)
-		if err := kernel(m); err != nil {
-			return fmt.Errorf("profile MTA %s: %w", params.Kernel, err)
-		}
-		res.Runs = append(res.Runs, ProfileRun{
-			Machine: "MTA", Cycles: m.Cycles(), Seconds: m.Seconds(),
-			Events: len(rec.Events) - before,
-		})
-		return nil
-	}
-	runSMP := func(kernel func(m *smp.Machine) error) error {
-		if !wantSMP {
-			return nil
-		}
-		m := smp.New(smp.DefaultConfig(params.Procs))
-		m.SetHostWorkers(HostWorkers)
-		m.SetSink(rec)
-		before := len(rec.Events)
-		if err := kernel(m); err != nil {
-			return fmt.Errorf("profile SMP %s: %w", params.Kernel, err)
-		}
-		res.Runs = append(res.Runs, ProfileRun{
-			Machine: "SMP", Cycles: m.Cycles(), Seconds: m.Seconds(),
-			Events: len(rec.Events) - before,
-		})
-		return nil
-	}
-
+	// Per kernel: how to build the shared input (cached, so with both
+	// machines scheduled it is built once), and the machine kernels
+	// verifying against the sequential reference.
 	n := params.N
+	var mtaKernel func(c *Cell, m *mta.Machine) error
+	var smpKernel func(c *Cell, m *smp.Machine) error
 	switch params.Kernel {
 	case "fig1":
-		l := list.New(n, params.Layout, params.Seed)
-		if err := runMTA(func(m *mta.Machine) error {
+		getList := func(c *Cell) *list.List {
+			return cached(c, fmt.Sprintf("list/%d/%s/%d", n, params.Layout, params.Seed),
+				func() *list.List { return list.New(n, params.Layout, params.Seed) })
+		}
+		mtaKernel = func(c *Cell, m *mta.Machine) error {
+			l := getList(c)
 			rank := listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
 			return l.VerifyRanks(rank)
-		}); err != nil {
-			return nil, err
 		}
-		if err := runSMP(func(m *smp.Machine) error {
+		smpKernel = func(c *Cell, m *smp.Machine) error {
+			l := getList(c)
 			rank := listrank.RankSMP(l, m, 8*params.Procs, params.Seed)
 			return l.VerifyRanks(rank)
-		}); err != nil {
-			return nil, err
 		}
 
 	case "fig2":
-		g := graph.RandomGnm(n, 8*n, params.Seed)
-		want := concomp.UnionFind(g)
-		check := func(got []int32) error {
+		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, 8*n, params.Seed)
+		getGraph := func(c *Cell) *graph.Graph {
+			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
+		}
+		check := func(c *Cell, g *graph.Graph, got []int32) error {
+			want := cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
 			if !graph.SameComponents(want, got) {
 				return fmt.Errorf("wrong components")
 			}
 			return nil
 		}
-		if err := runMTA(func(m *mta.Machine) error {
-			return check(concomp.LabelMTA(g, m, sim.SchedDynamic))
-		}); err != nil {
-			return nil, err
+		mtaKernel = func(c *Cell, m *mta.Machine) error {
+			g := getGraph(c)
+			return check(c, g, concomp.LabelMTA(g, m, sim.SchedDynamic))
 		}
-		if err := runSMP(func(m *smp.Machine) error {
-			return check(concomp.LabelSMP(g, m))
-		}); err != nil {
-			return nil, err
+		smpKernel = func(c *Cell, m *smp.Machine) error {
+			g := getGraph(c)
+			return check(c, g, concomp.LabelSMP(g, m))
 		}
 
 	case "prefix":
-		l := list.New(n, params.Layout, params.Seed)
-		vals := make([]int64, n)
-		r := rng.New(params.Seed ^ 0xabcd)
-		for i := range vals {
-			vals[i] = int64(r.Intn(1000)) - 500
+		type prefixIn struct {
+			l    *list.List
+			vals []int64
+			want []int64
 		}
-		want := listrank.SequentialPrefix(l, vals)
-		check := func(got []int64) error {
+		getIn := func(c *Cell) prefixIn {
+			return cached(c, fmt.Sprintf("prefix/%d/%s/%d", n, params.Layout, params.Seed), func() prefixIn {
+				l := list.New(n, params.Layout, params.Seed)
+				vals := make([]int64, n)
+				r := rng.New(params.Seed ^ 0xabcd)
+				for i := range vals {
+					vals[i] = int64(r.Intn(1000)) - 500
+				}
+				return prefixIn{l: l, vals: vals, want: listrank.SequentialPrefix(l, vals)}
+			})
+		}
+		check := func(want, got []int64) error {
 			for i := range want {
 				if got[i] != want[i] {
 					return fmt.Errorf("prefix sum mismatch at node %d", i)
@@ -176,61 +156,115 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			}
 			return nil
 		}
-		if err := runMTA(func(m *mta.Machine) error {
-			return check(listrank.PrefixMTA(l, vals, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic))
-		}); err != nil {
-			return nil, err
+		mtaKernel = func(c *Cell, m *mta.Machine) error {
+			in := getIn(c)
+			return check(in.want, listrank.PrefixMTA(in.l, in.vals, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic))
 		}
-		if err := runSMP(func(m *smp.Machine) error {
-			return check(listrank.PrefixSMP(l, vals, m, 8*params.Procs, params.Seed))
-		}); err != nil {
-			return nil, err
+		smpKernel = func(c *Cell, m *smp.Machine) error {
+			in := getIn(c)
+			return check(in.want, listrank.PrefixSMP(in.l, in.vals, m, 8*params.Procs, params.Seed))
 		}
 
 	case "treecon":
-		e := treecon.RandomExpr(n, params.Seed)
-		want := treecon.EvalSequential(e)
-		check := func(got int64) error {
+		type exprIn struct {
+			e    *treecon.Expr
+			want int64
+		}
+		getIn := func(c *Cell) exprIn {
+			return cached(c, fmt.Sprintf("expr/%d/%d", n, params.Seed), func() exprIn {
+				e := treecon.RandomExpr(n, params.Seed)
+				return exprIn{e: e, want: treecon.EvalSequential(e)}
+			})
+		}
+		check := func(want, got int64) error {
 			if got != want {
 				return fmt.Errorf("tree evaluation mismatch: got %d, want %d", got, want)
 			}
 			return nil
 		}
-		if err := runMTA(func(m *mta.Machine) error {
-			return check(treecon.EvalMTA(e, m, sim.SchedDynamic))
-		}); err != nil {
-			return nil, err
+		mtaKernel = func(c *Cell, m *mta.Machine) error {
+			in := getIn(c)
+			return check(in.want, treecon.EvalMTA(in.e, m, sim.SchedDynamic))
 		}
-		if err := runSMP(func(m *smp.Machine) error {
-			return check(treecon.EvalSMP(e, m, params.Seed))
-		}); err != nil {
-			return nil, err
+		smpKernel = func(c *Cell, m *smp.Machine) error {
+			in := getIn(c)
+			return check(in.want, treecon.EvalSMP(in.e, m, params.Seed))
 		}
 
 	case "coloring":
-		g := graph.RandomGnm(n, 8*n, params.Seed)
-		want, _ := coloring.Speculative(g)
-		check := func(got []int32) error {
+		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, 8*n, params.Seed)
+		getGraph := func(c *Cell) *graph.Graph {
+			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
+		}
+		check := func(c *Cell, g *graph.Graph, got []int32) error {
+			want := cached(c, gKey+"/specref", func() []int32 {
+				color, _ := coloring.Speculative(g)
+				return color
+			})
 			if err := sameColors(want, got); err != nil {
 				return err
 			}
 			return coloring.Validate(g, got)
 		}
-		if err := runMTA(func(m *mta.Machine) error {
+		mtaKernel = func(c *Cell, m *mta.Machine) error {
+			g := getGraph(c)
 			got, _ := coloring.ColorMTA(g, m, sim.SchedDynamic)
-			return check(got)
-		}); err != nil {
-			return nil, err
+			return check(c, g, got)
 		}
-		if err := runSMP(func(m *smp.Machine) error {
+		smpKernel = func(c *Cell, m *smp.Machine) error {
+			g := getGraph(c)
 			got, _ := coloring.ColorSMP(g, m)
-			return check(got)
-		}); err != nil {
-			return nil, err
+			return check(c, g, got)
 		}
 
 	default:
 		return nil, fmt.Errorf("profile: unknown kernel %q (want fig1, fig2, prefix, treecon, or coloring)", params.Kernel)
+	}
+
+	// One cell per requested machine, MTA before SMP as in the
+	// sequential harness.
+	type profCell struct {
+		machine string
+		run     func(c *Cell) (cycles, seconds float64, err error)
+	}
+	var cells []profCell
+	if wantMTA {
+		cells = append(cells, profCell{machine: "MTA", run: func(c *Cell) (float64, float64, error) {
+			m := c.MTA(mta.DefaultConfig(params.Procs))
+			if err := mtaKernel(c, m); err != nil {
+				return 0, 0, fmt.Errorf("profile MTA %s: %w", params.Kernel, err)
+			}
+			return m.Cycles(), m.Seconds(), nil
+		}})
+	}
+	if wantSMP {
+		cells = append(cells, profCell{machine: "SMP", run: func(c *Cell) (float64, float64, error) {
+			m := c.SMP(smp.DefaultConfig(params.Procs))
+			if err := smpKernel(c, m); err != nil {
+				return 0, 0, fmt.Errorf("profile SMP %s: %w", params.Kernel, err)
+			}
+			return m.Cycles(), m.Seconds(), nil
+		}})
+	}
+
+	runs := make([]ProfileRun, len(cells))
+	recs, err := runSweep(len(cells), sweepOpts{record: true, sample: params.SampleCycles}, func(i int, c *Cell) error {
+		cycles, seconds, err := cells[i].run(c)
+		if err != nil {
+			return err
+		}
+		runs[i] = ProfileRun{Machine: cells[i].machine, Cycles: cycles, Seconds: seconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &trace.Recorder{}
+	res := &ProfileResult{Params: params, Recorder: rec, Runs: runs}
+	for i := range runs {
+		runs[i].Events = len(recs[i].Events)
+		rec.Events = append(rec.Events, recs[i].Events...)
 	}
 	return res, nil
 }

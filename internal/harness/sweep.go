@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"sync"
+
+	"pargraph/internal/mta"
+	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
+	"pargraph/internal/trace"
+)
+
+// Jobs is how many experiment cells every Run* sweep executes
+// concurrently (see internal/sweep). The default 1 runs cells
+// sequentially; any value yields bit-identical results, traces
+// included, because each cell owns its machines, inputs are shared
+// read-only through a single-flight cache, and outputs land in index
+// slots assembled in sweep order. Set it once before running
+// experiments — the cmds wire their -jobs flag here. It composes with
+// HostWorkers, which stays per-cell (within-region replay).
+var Jobs = 1
+
+// sweepEnv is the state one Run* sweep shares across its cells: the
+// single-flight input cache and the pools of reusable simulator
+// machines. It is created per sweep so inputs and machines die with the
+// sweep instead of accumulating across experiments.
+type sweepEnv struct {
+	inputs sweep.Cache
+
+	mu      sync.Mutex
+	mtaFree map[mta.Config][]*mta.Machine
+	smpFree map[smp.Config][]*smp.Machine
+}
+
+func newSweepEnv() *sweepEnv {
+	return &sweepEnv{
+		mtaFree: make(map[mta.Config][]*mta.Machine),
+		smpFree: make(map[smp.Config][]*smp.Machine),
+	}
+}
+
+// Cell is one scheduled experiment cell's view of the sweep: it hands
+// out pooled machines (Reset between borrows, wired to the harness
+// HostWorkers and, when tracing, to the cell's private recorder) and,
+// via cached, the sweep's shared inputs. A Cell is confined to its
+// cell's goroutine.
+type Cell struct {
+	env    *sweepEnv
+	rec    *trace.Recorder // per-cell event stream; nil when not tracing
+	sample float64         // MTA within-region sampling for traced cells
+
+	mtas []*mta.Machine
+	smps []*smp.Machine
+}
+
+// cached builds (or waits for) the sweep-wide value under key: every
+// parameter the build depends on must appear in the key. The build runs
+// once across all concurrent cells; its result is shared read-only. A
+// build failure re-panics in this cell and is captured by the scheduler
+// as this cell's error — inputs never fail the process.
+func cached[T any](c *Cell, key string, build func() T) T {
+	v, err := sweep.GetAs(&c.env.inputs, key, func() (T, error) { return build(), nil })
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MTA borrows a machine with the given configuration from the sweep's
+// pool (constructing one if none is free), Reset and rewired to the
+// cell: harness HostWorkers, and the cell's recorder when tracing.
+func (c *Cell) MTA(cfg mta.Config) *mta.Machine {
+	c.env.mu.Lock()
+	var m *mta.Machine
+	if free := c.env.mtaFree[cfg]; len(free) > 0 {
+		m = free[len(free)-1]
+		c.env.mtaFree[cfg] = free[:len(free)-1]
+	}
+	c.env.mu.Unlock()
+	if m == nil {
+		m = mta.New(cfg)
+	} else {
+		m.Reset()
+	}
+	m.SetHostWorkers(HostWorkers)
+	if c.rec != nil {
+		m.SetSink(c.rec)
+		m.SetTraceSampling(c.sample)
+	} else {
+		m.SetSink(nil)
+		m.SetTraceSampling(0)
+	}
+	c.mtas = append(c.mtas, m)
+	return m
+}
+
+// SMP is MTA's counterpart for the E4500 model.
+func (c *Cell) SMP(cfg smp.Config) *smp.Machine {
+	c.env.mu.Lock()
+	var m *smp.Machine
+	if free := c.env.smpFree[cfg]; len(free) > 0 {
+		m = free[len(free)-1]
+		c.env.smpFree[cfg] = free[:len(free)-1]
+	}
+	c.env.mu.Unlock()
+	if m == nil {
+		m = smp.New(cfg)
+	} else {
+		m.Reset()
+	}
+	m.SetHostWorkers(HostWorkers)
+	if c.rec != nil {
+		m.SetSink(c.rec)
+	} else {
+		m.SetSink(nil)
+	}
+	c.smps = append(c.smps, m)
+	return m
+}
+
+// release returns the cell's borrowed machines to the pool. Called only
+// after the cell function returns cleanly — a failed or panicked cell
+// abandons its machines (their replay pools are reclaimed by the
+// machines' finalizers), since their state is suspect.
+func (c *Cell) release() {
+	c.env.mu.Lock()
+	for _, m := range c.mtas {
+		c.env.mtaFree[m.Config()] = append(c.env.mtaFree[m.Config()], m)
+	}
+	for _, m := range c.smps {
+		c.env.smpFree[m.Config()] = append(c.env.smpFree[m.Config()], m)
+	}
+	c.env.mu.Unlock()
+	c.mtas, c.smps = nil, nil
+}
+
+// sweepOpts configures one runSweep call.
+type sweepOpts struct {
+	// record attaches a recorder to every cell even with no TraceSink
+	// configured; the caller collects the returned recorders itself
+	// (RunProfile). Without it, recorders exist only when TraceSink is
+	// set, and their events are forwarded there in cell order.
+	record bool
+	// sample is the MTA within-region sampling granularity for traced
+	// cells (see mta.Machine.SetTraceSampling).
+	sample float64
+}
+
+// stdOpts is the configuration every figure/ablation sweep uses: trace
+// into the harness TraceSink (if any) at the harness sampling rate.
+func stdOpts() sweepOpts { return sweepOpts{sample: TraceSampleCycles} }
+
+// ablSweep is runSweep for the ablation tables, which keep their
+// historical no-error signatures: the caller panics on failure.
+func ablSweep(n int, cell func(i int, c *Cell) error) error {
+	_, err := runSweep(n, stdOpts(), cell)
+	return err
+}
+
+// runSweep runs n cells under the harness Jobs setting with one shared
+// sweepEnv. Each traced cell records into a private recorder; after the
+// sweep the recorders are replayed in cell-index order — cells are laid
+// out in the sequential loop order, and a machine's event Seq/Start
+// counters are per-machine, so the forwarded stream is byte-identical
+// to what the sequential harness would have emitted into TraceSink
+// directly. The lowest-index cell error is returned; all cells run
+// regardless (the scheduler's determinism contract).
+func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.Recorder, error) {
+	env := newSweepEnv()
+	record := opts.record || TraceSink != nil
+	var recs []*trace.Recorder
+	if record {
+		recs = make([]*trace.Recorder, n)
+	}
+	err := sweep.Run(n, Jobs, func(i int) error {
+		c := &Cell{env: env, sample: opts.sample}
+		if record {
+			c.rec = &trace.Recorder{}
+			recs[i] = c.rec
+		}
+		if err := cell(i, c); err != nil {
+			return err
+		}
+		c.release()
+		return nil
+	})
+	if !opts.record && TraceSink != nil {
+		for _, r := range recs {
+			if r == nil {
+				continue
+			}
+			for _, e := range r.Events {
+				TraceSink.Emit(e)
+			}
+		}
+	}
+	return recs, err
+}

@@ -1,0 +1,226 @@
+package harness
+
+// Scheduler-level guarantees of the sweep rewrite: every experiment's
+// rendered artifacts — JSON, CSV, and the forwarded trace stream — are
+// byte-identical for any Jobs value, and a panicking cell fails its own
+// cell without taking down the sweep.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pargraph/internal/trace"
+)
+
+// withJobs runs f under the given harness Jobs setting, restoring the
+// previous value (and any TraceSink the caller installed) afterwards.
+func withJobs(t *testing.T, jobs int, f func()) {
+	t.Helper()
+	oldJobs, oldSink := Jobs, TraceSink
+	Jobs = jobs
+	t.Cleanup(func() { Jobs, TraceSink = oldJobs, oldSink })
+	f()
+}
+
+// jobsSweep is the Jobs values every determinism test compares: the
+// sequential baseline, a partial overlap, and full oversubscription.
+var jobsSweep = []int{1, 2, 8}
+
+func fig1Artifacts(t *testing.T, jobs int) (jsonOut, csvOut []byte, events []trace.Event) {
+	t.Helper()
+	var rep Report
+	var cb bytes.Buffer
+	withJobs(t, jobs, func() {
+		rec := &trace.Recorder{}
+		TraceSink = rec
+		res, err := RunFig1(DefaultFig1(Small))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Fig1 = res
+		if err := res.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		events = rec.Events
+	})
+	var jb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes(), events
+}
+
+func fig2Artifacts(t *testing.T, jobs int) (jsonOut, csvOut []byte, events []trace.Event) {
+	t.Helper()
+	var rep Report
+	var cb bytes.Buffer
+	withJobs(t, jobs, func() {
+		rec := &trace.Recorder{}
+		TraceSink = rec
+		res, err := RunFig2(DefaultFig2(Small))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Fig2 = res
+		if err := res.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		events = rec.Events
+	})
+	var jb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes(), events
+}
+
+func coloringArtifacts(t *testing.T, jobs int) (csvOut []byte, events []trace.Event) {
+	t.Helper()
+	var cb bytes.Buffer
+	withJobs(t, jobs, func() {
+		rec := &trace.Recorder{}
+		TraceSink = rec
+		res, err := RunColoring(DefaultColoring(Small))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		events = rec.Events
+	})
+	return cb.Bytes(), events
+}
+
+// sameEvents compares two forwarded trace streams byte-for-byte via
+// their rendered Chrome traces (Event holds maps and slices, so the
+// rendered form is the canonical comparison).
+func sameEvents(t *testing.T, name string, jobs int, want, got []trace.Event) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d trace events at jobs=%d, want %d", name, len(got), jobs, len(want))
+		return
+	}
+	render := func(evs []trace.Event) []byte {
+		var b bytes.Buffer
+		rec := &trace.Recorder{Events: evs}
+		if err := rec.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(render(want), render(got)) {
+		t.Errorf("%s: trace stream differs between jobs=1 and jobs=%d", name, jobs)
+	}
+}
+
+// TestJobsDeterminismFig1 pins the tentpole contract on E1: JSON, CSV,
+// and the forwarded trace stream are byte-identical for any Jobs value.
+func TestJobsDeterminismFig1(t *testing.T) {
+	forceHostParallelism(t, 8)
+	json1, csv1, ev1 := fig1Artifacts(t, 1)
+	if len(json1) == 0 || len(csv1) == 0 || len(ev1) == 0 {
+		t.Fatal("empty sequential artifacts")
+	}
+	for _, jobs := range jobsSweep[1:] {
+		jsonJ, csvJ, evJ := fig1Artifacts(t, jobs)
+		if !bytes.Equal(json1, jsonJ) {
+			t.Errorf("fig1 JSON differs between jobs=1 and jobs=%d", jobs)
+		}
+		if !bytes.Equal(csv1, csvJ) {
+			t.Errorf("fig1 CSV differs between jobs=1 and jobs=%d", jobs)
+		}
+		sameEvents(t, "fig1", jobs, ev1, evJ)
+	}
+}
+
+func TestJobsDeterminismFig2(t *testing.T) {
+	forceHostParallelism(t, 8)
+	json1, csv1, ev1 := fig2Artifacts(t, 1)
+	if len(json1) == 0 || len(csv1) == 0 || len(ev1) == 0 {
+		t.Fatal("empty sequential artifacts")
+	}
+	for _, jobs := range jobsSweep[1:] {
+		jsonJ, csvJ, evJ := fig2Artifacts(t, jobs)
+		if !bytes.Equal(json1, jsonJ) {
+			t.Errorf("fig2 JSON differs between jobs=1 and jobs=%d", jobs)
+		}
+		if !bytes.Equal(csv1, csvJ) {
+			t.Errorf("fig2 CSV differs between jobs=1 and jobs=%d", jobs)
+		}
+		sameEvents(t, "fig2", jobs, ev1, evJ)
+	}
+}
+
+func TestJobsDeterminismColoring(t *testing.T) {
+	forceHostParallelism(t, 8)
+	csv1, ev1 := coloringArtifacts(t, 1)
+	if len(csv1) == 0 || len(ev1) == 0 {
+		t.Fatal("empty sequential artifacts")
+	}
+	for _, jobs := range jobsSweep[1:] {
+		csvJ, evJ := coloringArtifacts(t, jobs)
+		if !bytes.Equal(csv1, csvJ) {
+			t.Errorf("coloring CSV differs between jobs=1 and jobs=%d", jobs)
+		}
+		sameEvents(t, "coloring", jobs, ev1, evJ)
+	}
+}
+
+// TestJobsDeterminismProfile covers the record path (RunProfile collects
+// its own recorders rather than forwarding to TraceSink): rendered
+// Chrome trace and attribution CSV must not depend on Jobs.
+func TestJobsDeterminismProfile(t *testing.T) {
+	forceHostParallelism(t, 8)
+	params := ProfileParams{Kernel: "fig1", Machine: "both", N: 30000, Procs: 8, Seed: 0x51, SampleCycles: 500}
+	run := func(jobs int) (chrome, csv []byte) {
+		var cb, ab bytes.Buffer
+		withJobs(t, jobs, func() {
+			res, err := RunProfile(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Recorder.WriteChromeTrace(&cb); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Recorder.WriteAttributionCSV(&ab); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return cb.Bytes(), ab.Bytes()
+	}
+	chrome1, csv1 := run(1)
+	if len(chrome1) == 0 || len(csv1) == 0 {
+		t.Fatal("empty artifacts")
+	}
+	for _, jobs := range jobsSweep[1:] {
+		chromeJ, csvJ := run(jobs)
+		if !bytes.Equal(chrome1, chromeJ) {
+			t.Errorf("profile Chrome trace differs between jobs=1 and jobs=%d", jobs)
+		}
+		if !bytes.Equal(csv1, csvJ) {
+			t.Errorf("profile attribution CSV differs between jobs=1 and jobs=%d", jobs)
+		}
+	}
+}
+
+// TestJobsPanicConfinedToCell proves one bad cell fails its own cell
+// without killing the sweep: the error carries the cell's panic, and
+// RunTreeEval (whose cells verify) surfaces it as an ordinary error.
+func TestJobsPanicConfinedToCell(t *testing.T) {
+	forceHostParallelism(t, 8)
+	withJobs(t, 4, func() {
+		// leaves[1] = 0 makes treecon.RandomExpr panic inside that cell
+		// (an expression needs at least one leaf); the other cells must
+		// still run to completion and the sweep must report the panic as
+		// that cell's error rather than crashing the process.
+		_, err := RunTreeEval([]int{64, 0, 128}, 4, 7)
+		if err == nil {
+			t.Fatal("sweep with a panicking cell reported no error")
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("error does not identify the panicking cell: %v", err)
+		}
+	})
+}

@@ -62,35 +62,43 @@ type Table1Row struct {
 	Utilization []float64
 }
 
-// RunTable1 executes the utilization measurements.
+// RunTable1 executes the utilization measurements. Cells — Random-list
+// ranking, Ordered-list ranking, then connected components, each over
+// every processor count — run under the harness Jobs setting; each list
+// and the graph are built once and shared by every processor count.
 func RunTable1(params Table1Params) *Table1Result {
-	res := &Table1Result{Procs: params.Procs}
-
-	rowRandom := Table1Row{Workload: "List Ranking / Random List"}
-	rowOrdered := Table1Row{Workload: "List Ranking / Ordered List"}
-	for _, layout := range []list.Layout{list.Random, list.Ordered} {
-		l := list.New(params.ListN, layout, params.Seed)
-		for _, procs := range params.Procs {
-			m := newMTA(mta.DefaultConfig(procs))
+	nP := len(params.Procs)
+	layouts := []list.Layout{list.Random, list.Ordered}
+	utils := make([]float64, 3*nP)
+	_, err := runSweep(len(utils), stdOpts(), func(idx int, c *Cell) error {
+		procs := params.Procs[idx%nP]
+		m := c.MTA(mta.DefaultConfig(procs))
+		if row := idx / nP; row < 2 {
+			layout := layouts[row]
+			l := cached(c, fmt.Sprintf("list/%d/%s/%d", params.ListN, layout, params.Seed),
+				func() *list.List { return list.New(params.ListN, layout, params.Seed) })
 			listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
-			u := m.Utilization()
-			if layout == list.Random {
-				rowRandom.Utilization = append(rowRandom.Utilization, u)
-			} else {
-				rowOrdered.Utilization = append(rowOrdered.Utilization, u)
-			}
+		} else {
+			g := cached(c, fmt.Sprintf("gnm/%d/%d/%d", params.GraphN, params.GraphM, params.Seed+1),
+				func() *graph.Graph { return graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1) })
+			concomp.LabelMTA(g, m, sim.SchedDynamic)
 		}
+		utils[idx] = m.Utilization()
+		return nil
+	})
+	if err != nil {
+		// The table's kernels verify nothing, so an error here is a
+		// panicked cell — a programming error, as it was when the
+		// sequential harness let the panic fly.
+		panic(err)
 	}
 
-	rowCC := Table1Row{Workload: "Connected Components"}
-	g := graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1)
-	for _, procs := range params.Procs {
-		m := newMTA(mta.DefaultConfig(procs))
-		concomp.LabelMTA(g, m, sim.SchedDynamic)
-		rowCC.Utilization = append(rowCC.Utilization, m.Utilization())
+	res := &Table1Result{Procs: params.Procs}
+	res.Rows = []Table1Row{
+		{Workload: "List Ranking / Random List", Utilization: utils[:nP]},
+		{Workload: "List Ranking / Ordered List", Utilization: utils[nP : 2*nP]},
+		{Workload: "Connected Components", Utilization: utils[2*nP:]},
 	}
-
-	res.Rows = []Table1Row{rowRandom, rowOrdered, rowCC}
 	return res
 }
 

@@ -139,6 +139,50 @@ func TestResetClearsRecording(t *testing.T) {
 	}
 }
 
+// TestAutoHostWorkers pins auto mode (SetHostWorkers(0)): the worker
+// count resolves to the host core count, regions below autoShardMinN
+// stay on the serial path, larger ones shard — and simulated results
+// match explicit-serial replay bit-for-bit either way.
+func TestAutoHostWorkers(t *testing.T) {
+	forceHostParallelism(t, 8)
+	m := New(DefaultConfig(4))
+	m.SetHostWorkers(0)
+	if got := m.HostWorkers(); got != runtime.NumCPU() {
+		t.Fatalf("auto HostWorkers() = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+
+	// Below the auto cutoff the replay must not shard: an
+	// unsynchronized append would race (and trip -race) if it did.
+	small := autoShardMinN - 1
+	seen := make([]int, 0, small)
+	m.ParallelFor(small, sim.SchedDynamic, func(i int, th *Thread) {
+		th.Instr(1)
+		seen = append(seen, i)
+	})
+	if len(seen) != small {
+		t.Fatalf("auto small region visited %d of %d iterations", len(seen), small)
+	}
+
+	// Either side of the cutoff, stats must equal serial replay.
+	for _, n := range []int{autoShardMinN - 1, 2 * autoShardMinN} {
+		runWith := func(workers int) Stats {
+			mm := New(DefaultConfig(4))
+			mm.SetHostWorkers(workers)
+			out := make([]int64, n)
+			mm.ParallelFor(n, sim.SchedDynamic, chargeBody(out))
+			return mm.Stats()
+		}
+		want := runWith(1)
+		mm := New(DefaultConfig(4))
+		mm.SetHostWorkers(0)
+		out := make([]int64, n)
+		mm.ParallelFor(n, sim.SchedDynamic, chargeBody(out))
+		if got := mm.Stats(); got != want {
+			t.Errorf("n=%d auto stats diverge:\n got %+v\nwant %+v", n, got, want)
+		}
+	}
+}
+
 // TestWorkerPanicPropagates checks a panic in a sharded body reaches the
 // caller, as it does on the serial path.
 func TestWorkerPanicPropagates(t *testing.T) {

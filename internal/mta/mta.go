@@ -127,6 +127,12 @@ type Machine struct {
 	bankMask uint64
 
 	hostWorkers int
+	// autoWorkers marks SetHostWorkers(0): replay uses every host core,
+	// but only for regions large enough to repay the fork/join and
+	// merge overhead (autoShardMinN); smaller regions stay serial. An
+	// explicit worker count shards every region above shardMinN as
+	// before.
+	autoWorkers bool
 	// pool holds the parked host workers for sharded replay. It is
 	// created lazily by the first region that shards, resized by
 	// SetHostWorkers, and survives Reset (parked workers are reused, not
@@ -168,6 +174,14 @@ type Machine struct {
 const (
 	shardChunk = 512
 	shardMinN  = 2048
+	// autoShardMinN is the serial cutoff in auto mode
+	// (SetHostWorkers(0)). Measured on the experiment kernels, regions
+	// below a few tens of thousands of iterations lose more to
+	// fork/join dispatch and partial-sum merging than sharding saves —
+	// the mid-size sweeps in BENCH_simulators.json ran ~0.9x at
+	// workers=2 — so auto mode keeps them on the serial path and only
+	// shards clearly profitable regions.
+	autoShardMinN = 1 << 15
 )
 
 // chunkPartial is one chunk's partial sums on the aggregate path, padded
@@ -199,11 +213,18 @@ func New(cfg Config) *Machine {
 
 // SetHostWorkers sets how many host goroutines replay data-parallel
 // regions. The default 1 replays serially; any value yields identical
-// simulated results. Values below 1 are treated as 1. At replay time the
+// simulated results. 0 selects auto mode: use every host core, but only
+// for regions of at least autoShardMinN iterations — smaller regions
+// replay serially, where sharding's fork/join overhead costs more than
+// it saves. Negative values are treated as 1. At replay time the
 // count is capped at runtime.GOMAXPROCS(0): workers the scheduler cannot
 // actually run in parallel would only add dispatch overhead. Call it
 // between regions, not from inside a kernel body.
 func (m *Machine) SetHostWorkers(w int) {
+	m.autoWorkers = w == 0
+	if m.autoWorkers {
+		w = runtime.NumCPU()
+	}
 	if w < 1 {
 		w = 1
 	}
@@ -569,7 +590,7 @@ func (m *Machine) parallelFor(n int, sched sim.Sched, body func(i int, t *Thread
 
 	nchunks := (n + shardChunk - 1) / shardChunk
 	w := effectiveWorkers(m.hostWorkers)
-	if ordered || n < shardMinN {
+	if ordered || n < shardMinN || (m.autoWorkers && n < autoShardMinN) {
 		w = 1
 	}
 	if w > nchunks {

@@ -248,6 +248,11 @@ type Machine struct {
 	stats       Stats
 	procs       []*Proc
 	hostWorkers int
+	// autoWorkers marks SetHostWorkers(0): phases replay concurrently
+	// only when the machine simulates at least autoMinProcs processors —
+	// with fewer, the per-phase fork/join overhead outweighs what the
+	// narrow sharding can save, so auto mode keeps those serial.
+	autoWorkers bool
 	// pool holds the parked host workers for concurrent phase replay;
 	// created lazily by the first phase that shards, resized by
 	// SetHostWorkers, kept across Reset.
@@ -290,10 +295,20 @@ func New(cfg Config) *Machine {
 // processors of a Phase. The default 1 replays serially; any value
 // yields identical simulated results because each simulated processor
 // owns its cache state and the bus/barrier merge stays serial in
-// processor order. Values below 1 are treated as 1. At replay time the
+// processor order. 0 selects auto mode: use every host core, but stay
+// serial on machines with fewer than autoMinProcs simulated processors,
+// where the per-phase fork/join overhead outweighs the narrow sharding.
+// Negative values are treated as 1. At replay time the
 // count is capped at runtime.GOMAXPROCS(0): workers the scheduler cannot
 // actually run in parallel would only add dispatch overhead.
 func (m *Machine) SetHostWorkers(w int) {
+	m.autoWorkers = w == 0
+	if m.autoWorkers {
+		w = runtime.NumCPU()
+		if m.cfg.Procs < autoMinProcs {
+			w = 1
+		}
+	}
 	if w < 1 {
 		w = 1
 	}
@@ -308,6 +323,12 @@ func (m *Machine) SetHostWorkers(w int) {
 		m.pool.Resize(eff)
 	}
 }
+
+// autoMinProcs is auto mode's serial cutoff: a phase shards one host
+// task per simulated processor, so with only a couple of processors the
+// fork/join cost per phase cannot be amortized (the mid-size sweeps in
+// BENCH_simulators.json ran below 1x there).
+const autoMinProcs = 4
 
 // effectiveWorkers caps a requested host worker count at the parallelism
 // the Go scheduler can actually deliver.
@@ -333,12 +354,16 @@ func (m *Machine) Cycles() float64 { return m.stats.Cycles }
 // Seconds converts the simulated cycle count to seconds.
 func (m *Machine) Seconds() float64 { return m.stats.Cycles / (m.cfg.ClockMHz * 1e6) }
 
-// Reset clears statistics, trace, and cache state, keeping the
-// configuration.
+// Reset returns the machine to its post-New state, keeping the
+// configuration: statistics, trace, cache contents, and the simulated
+// allocator (bump pointer and anti-conflict stagger counter) all reset,
+// so a pooled machine replays a kernel bit-identically to a fresh one.
 func (m *Machine) Reset() {
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
 	m.evSeq = 0
+	m.next = 1 << 20
+	m.allocs = 0
 	for _, p := range m.procs {
 		p.l1.invalidateAll()
 		p.l2.invalidateAll()

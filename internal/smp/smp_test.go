@@ -2,6 +2,7 @@ package smp
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"pargraph/internal/rng"
@@ -256,6 +257,75 @@ func TestResetClearsCachesAndStats(t *testing.T) {
 	m.Phase(func(p *Proc) { p.Load(base) })
 	if m.Stats().Misses != 1 {
 		t.Fatalf("cache state survived reset: misses=%d, want 1", m.Stats().Misses)
+	}
+}
+
+// TestResetRestoresAllocator pins that a Reset machine replays a kernel
+// bit-identically to a fresh one: the bump allocator and the
+// anti-conflict stagger counter must rewind, or reused (pooled) machines
+// would hand out different addresses and hence different conflict-miss
+// behaviour.
+func TestResetRestoresAllocator(t *testing.T) {
+	kernel := func(m *Machine) ([]uint64, Stats) {
+		bases := make([]uint64, 3)
+		for i := range bases {
+			bases[i] = m.Alloc(1 << 16)
+		}
+		m.Phase(func(p *Proc) {
+			for i := 0; i < 256; i++ {
+				p.Load(bases[i%3] + uint64(i*8))
+				p.Store(bases[(i+1)%3] + uint64(i*8))
+			}
+		})
+		return bases, m.Stats()
+	}
+	m := New(DefaultConfig(2))
+	wantBases, wantStats := kernel(m)
+	m.Reset()
+	gotBases, gotStats := kernel(m)
+	for i := range wantBases {
+		if gotBases[i] != wantBases[i] {
+			t.Errorf("Alloc %d after Reset = %#x, want %#x", i, gotBases[i], wantBases[i])
+		}
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats after Reset diverge:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+}
+
+// TestAutoHostWorkers pins auto mode (SetHostWorkers(0)): machines with
+// at least autoMinProcs simulated processors use every host core,
+// smaller ones stay serial, and simulated results match explicit-serial
+// replay either way.
+func TestAutoHostWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	small := New(DefaultConfig(2))
+	small.SetHostWorkers(0)
+	if got := small.HostWorkers(); got != 1 {
+		t.Errorf("auto on %d procs: HostWorkers() = %d, want 1", 2, got)
+	}
+	big := New(DefaultConfig(8))
+	big.SetHostWorkers(0)
+	if got := big.HostWorkers(); got != runtime.NumCPU() {
+		t.Errorf("auto on 8 procs: HostWorkers() = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+
+	run := func(workers int) Stats {
+		m := New(DefaultConfig(8))
+		m.SetHostWorkers(workers)
+		base := m.Alloc(1 << 20)
+		m.Phase(func(p *Proc) {
+			for i := 0; i < 1024; i++ {
+				p.Load(base + uint64(p.ID())<<17 + uint64(i*8))
+			}
+			p.Compute(100)
+		})
+		return m.Stats()
+	}
+	if got, want := run(0), run(1); got != want {
+		t.Errorf("auto stats diverge:\n got %+v\nwant %+v", got, want)
 	}
 }
 

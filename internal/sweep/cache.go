@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is a content-keyed, single-flight store for the read-only
+// inputs a sweep's cells share: workload graphs, lists, and expression
+// trees, plus derived artifacts like verification references. The first
+// cell to ask for a key runs the build on its own goroutine; concurrent
+// cells asking for the same key block until that one build finishes and
+// then share the result. Keys are caller-chosen content strings — every
+// parameter the build depends on (generator, size, seed) must appear in
+// the key, since equal keys share one value.
+//
+// The zero Cache is ready to use. A Cache is scoped to one sweep so its
+// inputs die with the sweep instead of accumulating across experiments.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Get returns the value for key, running build at most once per key
+// across all concurrent callers. A panic inside build is captured and
+// returned as an error to the builder and every waiter, so one bad
+// input fails the cells that need it rather than the process.
+func (c *Cache) Get(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.val, e.err = nil, fmt.Errorf("sweep: building input %q panicked: %v", key, v)
+			}
+			close(e.done)
+		}()
+		e.val, e.err = build()
+	}()
+	return e.val, e.err
+}
+
+// Len reports how many keys the cache holds, including in-flight
+// builds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// GetAs is the typed wrapper over Cache.Get: it builds (or waits for)
+// the value under key and asserts it to T. Mixing types under one key
+// is a programming error and panics on the assertion.
+func GetAs[T any](c *Cache, key string, build func() (T, error)) (T, error) {
+	v, err := c.Get(key, func() (any, error) { return build() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

@@ -1,0 +1,109 @@
+// Package sweep is the experiment-level scheduler: it runs the
+// independent cells of a parameter sweep (kernel × machine × procs ×
+// size × seed) concurrently on a bounded number of host goroutines,
+// with results collected into caller-owned index slots so the assembled
+// output is bit-identical to a sequential run for any jobs count.
+//
+// This is the "throughput over latency" lever one level up from the
+// machines' SetHostWorkers: within-region replay parallelism plateaus
+// once a region's fork/join overhead is paid, but whole simulation
+// cells share nothing except their read-only inputs, so they scale with
+// host cores until memory bandwidth runs out. The Cache half of the
+// package makes the inputs genuinely shared: each (generator, size,
+// seed) workload is built once, single-flight, and every cell that asks
+// for it blocks until the one build finishes.
+//
+// Determinism contract: Run dispatches cells in ascending index order,
+// never aborts early, and reports the lowest-index failure — so the
+// error a caller sees, like the results it assembles, does not depend
+// on the jobs count or on scheduling.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is the error Run reports for a cell whose function
+// panicked: the panic is confined to its cell (other cells still run to
+// completion) and surfaces here with the recovered value and stack.
+type PanicError struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+}
+
+// Run executes cell(0..n-1) on at most jobs concurrent goroutines and
+// returns the lowest-index cell error, or nil if every cell succeeded.
+//
+// jobs values below 1 run serially; counts above runtime.GOMAXPROCS(0)
+// are capped there, since the cells are host-CPU-bound and extra
+// goroutines would only add scheduling overhead. Every cell runs even
+// when some fail — a bad cell fails its own slot, not the sweep — so
+// the set of attempted cells, like the reported error, is independent
+// of jobs. A panic inside a cell is captured as a *PanicError for that
+// cell.
+func Run(n, jobs int, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if max := runtime.GOMAXPROCS(0); jobs > max {
+		jobs = max
+	}
+	if jobs > n {
+		jobs = n
+	}
+	errs := make([]error, n)
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = runCell(i, cell)
+		}
+		return firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = runCell(i, cell)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// runCell invokes one cell, converting a panic into its *PanicError.
+func runCell(i int, cell func(int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Cell: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return cell(i)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

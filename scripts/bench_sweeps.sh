@@ -1,17 +1,17 @@
 #!/bin/sh
-# Runs the simulator benchmarks (the host-scaling sweep plus the two
-# single-worker engine benchmarks) and writes BENCH_simulators.json with
-# a provenance meta block (commit, date, toolchain, core count), ns/op
-# per benchmark and, for every host-scaling configuration, its
-# speedup over the same engine at workers=1, so a scaling regression
-# (speedup < 1) is visible in the committed JSON rather than needing a
-# by-hand division. Each benchmark runs -count 2 and the minimum ns/op is
-# kept — the standard noise-robust statistic on shared machines.
+# Runs BenchmarkSweepScaling (the experiment scheduler's Jobs sweep over
+# the E1 list-ranking and E8 coloring harness sweeps) and writes
+# BENCH_sweeps.json with a provenance meta block, ns/op per benchmark,
+# and each configuration's speedup over the same workload at jobs=1.
+# Each benchmark runs -count 3 and the minimum ns/op is kept — the
+# standard noise-robust statistic on shared machines. Note the scheduler
+# caps jobs at GOMAXPROCS, so on hosts with fewer cores than the swept
+# jobs count the curve goes flat (speedup ~1.0) rather than inverting.
 #
-# Usage: scripts/bench_simulators.sh [output.json]
+# Usage: scripts/bench_sweeps.sh [output.json]
 set -eu
 
-out=${1:-BENCH_simulators.json}
+out=${1:-BENCH_sweeps.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -20,8 +20,8 @@ stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 gover=$(go version | awk '{print $3}')
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
-go test -run '^$' -bench 'BenchmarkHostScaling|BenchmarkSimulatorMTA$|BenchmarkSimulatorSMP$|BenchmarkSimulatorColoringMTA$|BenchmarkSimulatorColoringSMP$' \
-    -benchtime 2x -count 2 . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkSweepScaling' \
+    -benchtime 1x -count 3 . | tee "$raw"
 
 awk -v commit="$commit" -v stamp="$stamp" -v gover="$gover" -v cores="$cores" '
 /^Benchmark/ && $4 == "ns/op" {
@@ -48,24 +48,24 @@ END {
         printf "    \"%s\": %s%s\n", b, nsop[b], (i < n - 1 ? "," : "")
     }
     printf "  },\n"
+    printf "  \"speedup_vs_jobs1\": {\n"
     nscale = 0
     for (i = 0; i < n; i++) {
         b = bench[i]
-        if (b ~ /^BenchmarkHostScaling\//) {
-            engine = b
-            sub(/^BenchmarkHostScaling\//, "", engine)
-            sub(/\/workers=.*$/, "", engine)
-            base = nsop["BenchmarkHostScaling/" engine "/workers=1"]
+        if (b ~ /^BenchmarkSweepScaling\//) {
+            wl = b
+            sub(/^BenchmarkSweepScaling\//, "", wl)
+            sub(/\/jobs=.*$/, "", wl)
+            base = nsop["BenchmarkSweepScaling/" wl "/jobs=1"]
             if (base + 0 > 0) scale[nscale++] = b
         }
     }
-    printf "  \"speedup_vs_workers1\": {\n"
     for (i = 0; i < nscale; i++) {
         b = scale[i]
-        engine = b
-        sub(/^BenchmarkHostScaling\//, "", engine)
-        sub(/\/workers=.*$/, "", engine)
-        base = nsop["BenchmarkHostScaling/" engine "/workers=1"]
+        wl = b
+        sub(/^BenchmarkSweepScaling\//, "", wl)
+        sub(/\/jobs=.*$/, "", wl)
+        base = nsop["BenchmarkSweepScaling/" wl "/jobs=1"]
         printf "    \"%s\": %.3f%s\n", b, base / nsop[b], (i < nscale - 1 ? "," : "")
     }
     printf "  }\n"

@@ -1,0 +1,43 @@
+#!/bin/sh
+# CI guard for the sweep scheduler's scaling acceptance: on a host with
+# at least 4 cores, the E1 (fig1) harness sweep at jobs=4 must run at
+# least 1.8x faster than at jobs=1 (minimum ns/op over three runs of
+# each). On hosts with fewer than 4 cores the scheduler caps jobs at
+# GOMAXPROCS, the curve is structurally flat, and the guard skips rather
+# than reporting a meaningless ratio.
+#
+# Usage: scripts/check_sweep_scaling.sh
+set -eu
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -lt 4 ]; then
+    echo "check_sweep_scaling: SKIP — host has $cores core(s); the jobs=4 vs jobs=1 ratio needs >= 4"
+    exit 0
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSweepScaling/fig1/jobs=(1|4)$' \
+    -benchtime 1x -count 3 . | tee "$raw"
+
+awk '
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    if (!(name in nsop) || $3 + 0 < nsop[name] + 0) nsop[name] = $3
+}
+END {
+    base = nsop["BenchmarkSweepScaling/fig1/jobs=1"]
+    four = nsop["BenchmarkSweepScaling/fig1/jobs=4"]
+    if (base + 0 <= 0 || four + 0 <= 0) {
+        printf "check_sweep_scaling: missing measurements\n"
+        exit 1
+    }
+    speedup = base / four
+    printf "check_sweep_scaling: fig1 jobs=4 speedup over jobs=1 = %.2fx\n", speedup
+    if (speedup < 1.8) {
+        printf "check_sweep_scaling: FAIL — jobs=4 speedup %.2fx is below the 1.8x acceptance floor\n", speedup
+        exit 1
+    }
+}' "$raw"
