@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling verify
+.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence verify
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the simulator packages and the kernels that replay on them.
+# Race-check the simulator packages, the kernels that replay on them,
+# and the cross-process disk cache.
 race:
-	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/
+	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/ ./internal/coloring/ ./internal/diskcache/
 
 vet:
 	$(GO) vet ./...
@@ -36,5 +37,10 @@ bench-sweeps:
 # jobs at GOMAXPROCS and the curve is structurally flat).
 check-sweep-scaling:
 	sh scripts/check_sweep_scaling.sh
+
+# Fail if the fig1 sweep run as shards 0..N-1 and merged by shardmerge
+# is not byte-identical to the unsharded run, for N in {2, 4}.
+check-shard-equivalence:
+	sh scripts/check_shard_equivalence.sh
 
 verify: vet build test

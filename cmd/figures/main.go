@@ -19,15 +19,27 @@
 //	figures -fig 1 -csv          # long-format CSV for plotting
 //	figures -fig 1 -trace t.json # Chrome trace of every simulated run
 //	figures -fig 2 -attr a.csv   # per-region cycle attribution as CSV
+//
+// Sweeps can be sharded across processes and their generated inputs
+// persisted in a content-addressed cache (see cmd/shardmerge and
+// scripts/shard_run.sh):
+//
+//	figures -fig 1 -json -shard 0/4 -cache-dir /tmp/pgc > part0.json
+//	figures -fig 1 -json -shard 1/4 -cache-dir /tmp/pgc > part1.json
+//	...
+//	shardmerge -json - part*.json   # byte-identical to the unsharded -json
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
@@ -50,10 +62,28 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently per sweep (0 = NumCPU); results are identical for any value")
 		traceOut = flag.String("trace", "", "record every simulated machine's attribution trace and write Chrome trace JSON to this file")
 		attrOut  = flag.String("attr", "", "with tracing, also write the per-region attribution as CSV to this file")
+		shardS   = flag.String("shard", "", "run only the experiment cells of shard i/N (e.g. 0/4) and emit a partial-result envelope for cmd/shardmerge; requires -json")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		withTr   = flag.Bool("withtrace", false, "with -shard, carry this shard's trace events in the partial so shardmerge can render -trace/-attr")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	shard, err := cmdutil.ParseShard(*shardS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.Shard = shard
+	store, err := cmdutil.OpenCache(*cacheDir, harness.InputSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.CacheStore = store
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	harness.Interrupt = ctx
 
 	w, err := cmdutil.ResolveWorkers(*workers)
 	if err != nil {
@@ -102,6 +132,19 @@ func main() {
 
 	if *jsonFlag && *csvFlag {
 		log.Fatal("choose one of -json and -csv")
+	}
+	if shard.Active() {
+		if !*jsonFlag {
+			log.Fatal("-shard emits a partial-result envelope; add -json")
+		}
+		if *traceOut != "" || *attrOut != "" {
+			log.Fatal("-trace/-attr are rendered by shardmerge from the merged partials; use -withtrace on the shards instead")
+		}
+		if *withTr {
+			harness.PartialTraces = &harness.PartialTraceLog{}
+		}
+	} else if *withTr {
+		log.Fatal("-withtrace only applies to -shard runs")
 	}
 	rep := &harness.Report{}
 	text := !*jsonFlag && !*csvFlag
@@ -161,13 +204,21 @@ func main() {
 		}
 	}
 	if *all || *summary {
-		sum, err := harness.Summarize(runFig1(), runFig2())
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep.Summary = sum
-		if text {
-			sum.WriteText(out)
+		if shard.Active() {
+			// The headline ratios derive from every fig1/fig2 cell, so a
+			// shard only runs its slice of those sweeps; shardmerge
+			// computes the summary from the merged figures.
+			runFig1()
+			runFig2()
+		} else {
+			sum, err := harness.Summarize(runFig1(), runFig2())
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Summary = sum
+			if text {
+				sum.WriteText(out)
+			}
 		}
 	}
 
@@ -268,6 +319,21 @@ func main() {
 	}
 
 	if *jsonFlag {
+		if shard.Active() {
+			p := &harness.Partial{
+				Schema:  harness.PartialSchema,
+				Shard:   shard,
+				Summary: *all || *summary,
+				Report:  rep,
+			}
+			if harness.PartialTraces != nil {
+				p.Trace = harness.PartialTraces.Take()
+			}
+			if err := p.WriteJSON(out); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := rep.WriteJSON(out); err != nil {
 			log.Fatal(err)
 		}

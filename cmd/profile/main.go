@@ -14,14 +14,25 @@
 //
 // All output is bit-identical for any -workers value: events are
 // emitted at region commit, after the deterministic replay merge.
+//
+// With -machine both, the two machines can run as separate shard
+// processes whose partials cmd/shardmerge reassembles into the exact
+// unsharded output:
+//
+//	profile -kernel fig1 -shard 0/2 -cache-dir /tmp/pgc > part0.json
+//	profile -kernel fig1 -shard 1/2 -cache-dir /tmp/pgc > part1.json
+//	shardmerge part0.json part1.json
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
@@ -44,10 +55,36 @@ func main() {
 		timeline = flag.Float64("timeline", 0, "print a utilization timeline with this bucket width in cycles (0 = off)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); output is identical for any value")
 		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently (with -machine both the two machines are separate cells; 0 = NumCPU); output is identical for any value")
+		shardS   = flag.String("shard", "", "run only the cells of shard i/N (e.g. 0/2) and emit a partial-result envelope on stdout for cmd/shardmerge")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	shard, err := cmdutil.ParseShard(*shardS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.Shard = shard
+	store, err := cmdutil.OpenCache(*cacheDir, harness.InputSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.CacheStore = store
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	harness.Interrupt = ctx
+
+	if shard.Active() {
+		if *traceOut != "" {
+			log.Fatal("-trace is rendered by shardmerge from the merged partials")
+		}
+		// The partial carries the shard's event streams; shardmerge
+		// reassembles the whole-run recorder and renders the attribution.
+		harness.PartialTraces = &harness.PartialTraceLog{}
+	}
 
 	w, err := cmdutil.ResolveWorkers(*workers)
 	if err != nil {
@@ -93,6 +130,20 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	if shard.Active() {
+		p := &harness.Partial{
+			Schema:  harness.PartialSchema,
+			Shard:   shard,
+			Profile: &harness.ProfilePartial{Params: res.Params, Runs: res.Runs},
+			Trace:   harness.PartialTraces.Take(),
+		}
+		if err := p.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	for _, run := range res.Runs {
 		fmt.Fprintf(out, "%s %s n=%d p=%d: %.0f cycles (%.6f s), %d trace events\n",
 			run.Machine, params.Kernel, params.N, params.Procs, run.Cycles, run.Seconds, run.Events)

@@ -1,0 +1,181 @@
+// Command shardmerge reassembles a sharded experiment run. Each shard
+// process (cmd/figures or cmd/profile with -shard i/N) emits a partial
+// JSON envelope holding its zero-slotted results and, when requested,
+// its cells' trace events; shardmerge validates that the partials form
+// one complete shard set, merges them slot-wise, and renders the same
+// artifacts the unsharded command would have written — byte for byte.
+//
+// Figure partials:
+//
+//	shardmerge part0.json part1.json              # merged report JSON on stdout
+//	shardmerge -json merged.json part*.json
+//	shardmerge -csv merged.csv part*.json         # fig1/fig2/table1 CSVs
+//	shardmerge -trace t.json -attr a.csv part*.json   # needs -withtrace shards
+//
+// Profile partials (from cmd/profile -shard) reproduce that command's
+// stdout — run headers, attribution, optional timeline — plus -trace:
+//
+//	shardmerge part0.json part1.json
+//	shardmerge -attrfmt csv -timeline 20000 -trace t.json part*.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"pargraph/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shardmerge: ")
+	var (
+		jsonOut  = flag.String("json", "", "write the merged report as JSON to this file (\"-\" = stdout)")
+		csvOut   = flag.String("csv", "", "write the merged figure/table results as CSV to this file (\"-\" = stdout)")
+		traceOut = flag.String("trace", "", "write the merged Chrome trace JSON to this file (shards must have run with -withtrace)")
+		attrOut  = flag.String("attr", "", "write the merged per-region attribution as CSV to this file")
+		attrFmt  = flag.String("attrfmt", "table", "profile partials: attribution format on stdout (table, csv, json, or none)")
+		timeline = flag.Float64("timeline", 0, "profile partials: print a utilization timeline with this bucket width in cycles (0 = off)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("no partial files given")
+	}
+
+	parts := make([]*harness.Partial, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := harness.ReadPartial(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		parts = append(parts, p)
+	}
+	m, err := harness.MergePartials(parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case m.Profile != nil:
+		renderProfile(m, *attrFmt, *timeline, *traceOut)
+	case m.Report != nil:
+		renderReport(m, *jsonOut, *csvOut, *traceOut, *attrOut)
+	default:
+		log.Fatal("partials carry neither a report nor a profile")
+	}
+}
+
+// renderReport writes the artifacts cmd/figures would have produced.
+func renderReport(m *harness.Merged, jsonOut, csvOut, traceOut, attrOut string) {
+	if (traceOut != "" || attrOut != "") && m.Trace == nil {
+		log.Fatal("partials carry no trace events; rerun the shards with -withtrace")
+	}
+	if jsonOut == "" && csvOut == "" && traceOut == "" && attrOut == "" {
+		jsonOut = "-"
+	}
+	if jsonOut != "" {
+		writeTo(jsonOut, m.Report.WriteJSON)
+	}
+	if csvOut != "" {
+		writeTo(csvOut, func(w io.Writer) error {
+			// The same render order cmd/figures uses with -csv.
+			if m.Report.Fig1 != nil {
+				if err := m.Report.Fig1.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			if m.Report.Fig2 != nil {
+				if err := m.Report.Fig2.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			if m.Report.Table1 != nil {
+				if err := m.Report.Table1.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if traceOut != "" {
+		writeTo(traceOut, m.Trace.WriteChromeTrace)
+	}
+	if attrOut != "" {
+		writeTo(attrOut, m.Trace.WriteAttributionCSV)
+	}
+}
+
+// renderProfile reproduces cmd/profile's unsharded stdout flow.
+func renderProfile(m *harness.Merged, attrFmt string, timeline float64, traceOut string) {
+	res := m.Profile
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, run := range res.Runs {
+		fmt.Fprintf(out, "%s %s n=%d p=%d: %.0f cycles (%.6f s), %d trace events\n",
+			run.Machine, res.Params.Kernel, res.Params.N, res.Params.Procs, run.Cycles, run.Seconds, run.Events)
+	}
+	fmt.Fprintln(out)
+
+	switch attrFmt {
+	case "table":
+		res.Recorder.WriteAttribution(out)
+	case "csv":
+		if err := res.Recorder.WriteAttributionCSV(out); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := res.Recorder.WriteAttributionJSON(out); err != nil {
+			log.Fatal(err)
+		}
+	case "none":
+	default:
+		log.Fatalf("unknown attribution format %q (want table, csv, json, or none)", attrFmt)
+	}
+
+	if timeline > 0 {
+		res.Recorder.WriteTimeline(out, timeline)
+	}
+
+	if traceOut != "" {
+		writeTo(traceOut, res.Recorder.WriteChromeTrace)
+	}
+}
+
+// writeTo renders into a file path, with "-" meaning stdout.
+func writeTo(path string, render func(io.Writer) error) {
+	if path == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		if err := render(w); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := render(bw); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package binenc holds the little-endian bulk encoding primitives the
+// workload types use for their persistent-cache representation
+// (encoding.BinaryMarshaler on internal/list.List, internal/graph.Graph
+// and friends). The point is decode speed: a warm disk-cache read must
+// beat regenerating the workload, and reflection-driven encoders spend
+// tens of nanoseconds per element where these loops spend about one.
+//
+// The format is deliberately dumb — fixed-width little-endian words,
+// length-prefixed slices, no framing beyond what the caller writes —
+// because the disk cache already authenticates entries (schema salt,
+// key echo, checksum) and falls back to a rebuild on any decode error.
+// Decoders here must still never panic on truncated or oversized input:
+// they return ok=false and let the cache treat the entry as garbage.
+package binenc
+
+import "encoding/binary"
+
+// maxLen bounds decoded slice lengths so a corrupt length prefix cannot
+// ask for an absurd allocation before the checksum would have caught it
+// (callers outside the cache may feed unvalidated bytes).
+const maxLen = 1 << 31
+
+// AppendUint64 appends one word.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// ConsumeUint64 reads one word off the front of b.
+func ConsumeUint64(b []byte) (uint64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], true
+}
+
+// AppendInt64s appends a length-prefixed []int64.
+func AppendInt64s(buf []byte, v []int64) []byte {
+	buf = AppendUint64(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+	}
+	return buf
+}
+
+// ConsumeInt64s reads a length-prefixed []int64 off the front of b.
+func ConsumeInt64s(b []byte) ([]int64, []byte, bool) {
+	n, b, ok := ConsumeUint64(b)
+	if !ok || n > maxLen || uint64(len(b)) < 8*n {
+		return nil, nil, false
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, b[8*n:], true
+}
+
+// AppendInt32s appends a length-prefixed []int32.
+func AppendInt32s(buf []byte, v []int32) []byte {
+	buf = AppendUint64(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+// ConsumeInt32s reads a length-prefixed []int32 off the front of b.
+func ConsumeInt32s(b []byte) ([]int32, []byte, bool) {
+	n, b, ok := ConsumeUint64(b)
+	if !ok || n > maxLen || uint64(len(b)) < 4*n {
+		return nil, nil, false
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return v, b[4*n:], true
+}
+
+// AppendInts appends a length-prefixed []int (as 64-bit words).
+func AppendInts(buf []byte, v []int) []byte {
+	buf = AppendUint64(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+	}
+	return buf
+}
+
+// ConsumeInts reads a length-prefixed []int off the front of b.
+func ConsumeInts(b []byte) ([]int, []byte, bool) {
+	n, b, ok := ConsumeUint64(b)
+	if !ok || n > maxLen || uint64(len(b)) < 8*n {
+		return nil, nil, false
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = int(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, b[8*n:], true
+}
+
+// AppendBytes appends a length-prefixed byte section (a nested
+// marshaled value, say).
+func AppendBytes(buf, v []byte) []byte {
+	buf = AppendUint64(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// ConsumeBytes reads a length-prefixed byte section off the front of b.
+// The returned section aliases b.
+func ConsumeBytes(b []byte) ([]byte, []byte, bool) {
+	n, b, ok := ConsumeUint64(b)
+	if !ok || n > maxLen || uint64(len(b)) < n {
+		return nil, nil, false
+	}
+	return b[:n], b[n:], true
+}

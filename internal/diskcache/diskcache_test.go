@@ -1,0 +1,343 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	// Re-execed helper mode for the cross-process tests: hammer the
+	// store named by the environment, then exit.
+	if dir := os.Getenv("DISKCACHE_HELPER_DIR"); dir != "" {
+		os.Exit(helperMain(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// helperContent is the deterministic payload every writer (goroutine or
+// process) stores under a numbered key, so readers can always validate
+// what they get.
+func helperContent(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("entry-%d;", i)), i%7+1)
+}
+
+func helperKey(i int) string { return fmt.Sprintf("xproc/key/%d", i) }
+
+const helperKeys = 32
+
+// helperMain is the child process body: repeatedly put and get the
+// shared key set, failing (non-zero exit) on any invalid read.
+func helperMain(dir string) int {
+	s, err := Open(dir, "xproc-schema")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < helperKeys; i++ {
+			if err := s.Put(helperKey(i), helperContent(i)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if got, ok := s.Get(helperKey((i + round) % helperKeys)); ok {
+				if want := helperContent((i + round) % helperKeys); !bytes.Equal(got, want) {
+					fmt.Fprintf(os.Stderr, "helper: wrong content for key %d\n", (i+round)%helperKeys)
+					return 1
+				}
+			}
+		}
+	}
+	if st := s.Stats(); st.Rejects != 0 {
+		fmt.Fprintf(os.Stderr, "helper: %d rejected reads\n", st.Rejects)
+		return 1
+	}
+	return 0
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on an empty store reported a hit")
+	}
+	payloads := map[string][]byte{
+		"empty":       {},
+		"small":       []byte("hello"),
+		"binary":      {0, 1, 2, 0xff, 0xfe, 0},
+		"with/slash":  []byte("slashes in keys are fine: keys are hashed"),
+		"long\x00key": bytes.Repeat([]byte("x"), 1<<16),
+	}
+	for k, v := range payloads {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for k, v := range payloads {
+		got, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("Get(%q) missed after Put", k)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%q) = %d bytes, want %d", k, len(got), len(v))
+		}
+	}
+	st := s.Stats()
+	if st.Hits != int64(len(payloads)) || st.Misses != 1 || st.Puts != int64(len(payloads)) || st.Rejects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, err := Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := []byte(fmt.Sprintf("generation %d", i))
+		if err := s.Put("k", want); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("k"); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("generation %d: got %q, ok=%v", i, got, ok)
+		}
+	}
+}
+
+func TestSchemaSaltInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := Open(dir, "schema-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Put("k", []byte("old meaning")); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dir, "schema-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Get("k"); ok {
+		t.Fatal("schema-v2 store read a schema-v1 entry")
+	}
+	// The old handle still sees its own entry: the salt strands, it
+	// does not destroy.
+	if got, ok := v1.Get("k"); !ok || string(got) != "old meaning" {
+		t.Fatalf("v1 entry lost: %q, ok=%v", got, ok)
+	}
+}
+
+// TestCorruptEntriesAreMisses mutilates a valid entry every way the
+// reader guards against and checks each one reads as a miss, then
+// that a fresh Put recovers the key.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "fragile"
+	want := bytes.Repeat([]byte("payload"), 100)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(key)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"empty file":        {},
+		"bad magic":         append([]byte("NOTCACHE"), valid[8:]...),
+		"truncated header":  valid[:10],
+		"truncated payload": valid[:len(valid)-5],
+		"flipped bit":       flipLastBit(valid),
+		"garbage":           []byte("not a cache entry at all"),
+	}
+	for name, raw := range corruptions {
+		if err := os.WriteFile(path, raw, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("%s: Get reported a hit", name)
+		}
+	}
+	if st := s.Stats(); st.Rejects == 0 {
+		t.Fatalf("no rejects counted across corruptions: %+v", st)
+	}
+
+	// The recovery path: rebuild and overwrite.
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Fatal("Put did not recover the corrupted key")
+	}
+}
+
+func flipLastBit(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)-1] ^= 1
+	return out
+}
+
+func TestKeyIsVerifiedNotJustHashed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("for key a")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a hash-level mixup by copying a's entry file onto b's
+	// address: the embedded key must reject it.
+	raw, err := os.ReadFile(s.path("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("b"), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("entry for key a was served under key b")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", "v1"); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+func TestTempFilesAreNotLeaked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".put-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("%d temp files left behind: %v", len(leftovers), leftovers)
+	}
+}
+
+// TestConcurrentGoroutines races many readers and writers over a shared
+// key set within one process (run under -race in CI).
+func TestConcurrentGoroutines(t *testing.T) {
+	s, err := Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % helperKeys
+				if err := s.Put(helperKey(i), helperContent(i)); err != nil {
+					errc <- err
+					return
+				}
+				j := (w * r) % helperKeys
+				if got, ok := s.Get(helperKey(j)); ok && !bytes.Equal(got, helperContent(j)) {
+					errc <- fmt.Errorf("goroutine %d read wrong content for key %d", w, j)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if st := s.Stats(); st.Rejects != 0 {
+		t.Fatalf("validated reads rejected entries under single-process concurrency: %+v", st)
+	}
+}
+
+// TestCrossProcess re-execs the test binary twice; both children write
+// and read the same key set in the same directory concurrently while
+// the parent reads. Children exit non-zero on any invalid read, and the
+// parent requires every key valid afterwards.
+func TestCrossProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process spawn in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	dir := t.TempDir()
+
+	var procs []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(exe, "-test.run=^TestMainNeverMatches$")
+		cmd.Env = append(os.Environ(), "DISKCACHE_HELPER_DIR="+dir)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		procs = append(procs, cmd)
+	}
+
+	// Read concurrently from the parent while the children churn. Hits
+	// must validate; misses (key not yet written) are fine.
+	s, err := Open(dir, "xproc-schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 200; round++ {
+		i := round % helperKeys
+		if got, ok := s.Get(helperKey(i)); ok && !bytes.Equal(got, helperContent(i)) {
+			t.Fatalf("parent read wrong content for key %d", i)
+		}
+	}
+
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("helper %d failed: %v\n%s", i, err, cmd.Stderr)
+		}
+	}
+	if st := s.Stats(); st.Rejects != 0 {
+		t.Fatalf("parent rejected %d entries while children wrote atomically", st.Rejects)
+	}
+	// After the dust settles every key must be present and valid.
+	final, err := Open(dir, "xproc-schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < helperKeys; i++ {
+		got, ok := final.Get(helperKey(i))
+		if !ok {
+			t.Fatalf("key %d missing after both writers finished", i)
+		}
+		if !bytes.Equal(got, helperContent(i)) {
+			t.Fatalf("key %d invalid after both writers finished", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"errors"
+
+	"pargraph/internal/binenc"
+)
+
+// graphCodecVersion guards the persistent representation below; bump it
+// if the layout changes meaning.
+const graphCodecVersion = 1
+
+// MarshalBinary is the graph's persistent-cache representation
+// (internal/sweep's disk-backed input cache): a version word, the
+// vertex count, and the edge list as little-endian endpoint pairs. The
+// memoized CSR view is not stored — a decoded graph rebuilds it on
+// first use, deterministically, which keeps the entry at edge-list size
+// and the warm path bit-faithful. Also backs GobEncode for aggregates.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 24+8*len(g.Edges))
+	buf = binenc.AppendUint64(buf, graphCodecVersion)
+	buf = binenc.AppendUint64(buf, uint64(g.N))
+	buf = binenc.AppendUint64(buf, uint64(len(g.Edges)))
+	for _, e := range g.Edges {
+		buf = binenc.AppendUint64(buf, uint64(uint32(e.U))|uint64(uint32(e.V))<<32)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary is MarshalBinary's inverse. Corrupt input returns an
+// error; the disk cache treats that as a miss and rebuilds.
+func (g *Graph) UnmarshalBinary(data []byte) error {
+	version, rest, ok := binenc.ConsumeUint64(data)
+	if !ok || version != graphCodecVersion {
+		return errors.New("graph: bad encoding version")
+	}
+	n, rest, ok := binenc.ConsumeUint64(rest)
+	if !ok {
+		return errors.New("graph: truncated header")
+	}
+	m, rest, ok := binenc.ConsumeUint64(rest)
+	if !ok || uint64(len(rest)) != 8*m {
+		return errors.New("graph: truncated edge list")
+	}
+	edges := make([]Edge, m)
+	for i := range edges {
+		w, r, _ := binenc.ConsumeUint64(rest)
+		rest = r
+		edges[i] = Edge{U: int32(uint32(w)), V: int32(uint32(w >> 32))}
+	}
+	g.N = int(n)
+	g.Edges = edges
+	return nil
+}
+
+// GobEncode routes gob through the fast binary representation.
+func (g *Graph) GobEncode() ([]byte, error) { return g.MarshalBinary() }
+
+// GobDecode routes gob through the fast binary representation.
+func (g *Graph) GobDecode(data []byte) error { return g.UnmarshalBinary(data) }

@@ -1,0 +1,54 @@
+package graph
+
+import "testing"
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := RandomGnm(500, 2000, 9)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Graph
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || len(got.Edges) != len(orig.Edges) {
+		t.Fatalf("shape mismatch: N %d vs %d, M %d vs %d", got.N, orig.N, len(got.Edges), len(orig.Edges))
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != orig.Edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got.Edges[i], orig.Edges[i])
+		}
+	}
+	// The decoded graph rebuilds its CSR lazily and identically.
+	a, b := orig.ToCSR(), got.ToCSR()
+	if len(a.RowPtr) != len(b.RowPtr) || len(a.Col) != len(b.Col) {
+		t.Fatal("CSR shape mismatch after decode")
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			t.Fatalf("CSR row pointer %d differs", i)
+		}
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatalf("CSR column %d differs", i)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	data, err := RandomGnm(16, 40, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Graph
+	for cut := 0; cut < len(data); cut += 7 {
+		if err := g.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := g.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -84,28 +84,48 @@ type ColoringResult struct {
 	Rows     []ColoringRow
 }
 
-// coloringInputs materializes the three input graphs.
-func coloringInputs(params ColoringParams) ([]string, []*graph.Graph) {
+// coloringInput describes one input family: its display name, its
+// content-complete cache key (every generator parameter, including the
+// seed, appears in it — persistent caches live across runs, so a key
+// must never be ambiguous between two generations), and its builder.
+// The builders are lazy so a shard that owns none of an input's cells
+// never generates that graph.
+type coloringInput struct {
+	name  string
+	key   string
+	build func() *graph.Graph
+}
+
+// coloringInputs describes the three input families.
+func coloringInputs(params ColoringParams) []coloringInput {
 	rn := 1 << params.RMATScale
-	names := []string{
-		fmt.Sprintf("rmat(s=%d,m=%dn)", params.RMATScale, params.RMATEdges),
-		fmt.Sprintf("mesh(%dx%d)", params.MeshDim, params.MeshDim),
-		fmt.Sprintf("torus(%dx%d)", params.TorusDim, params.TorusDim),
+	return []coloringInput{
+		{
+			name:  fmt.Sprintf("rmat(s=%d,m=%dn)", params.RMATScale, params.RMATEdges),
+			key:   fmt.Sprintf("rmat/%d/%d/%d", params.RMATScale, params.RMATEdges*rn, params.Seed),
+			build: func() *graph.Graph { return graph.RMAT(params.RMATScale, params.RMATEdges*rn, params.Seed) },
+		},
+		{
+			name:  fmt.Sprintf("mesh(%dx%d)", params.MeshDim, params.MeshDim),
+			key:   fmt.Sprintf("mesh2d/%d/%d", params.MeshDim, params.MeshDim),
+			build: func() *graph.Graph { return graph.Mesh2D(params.MeshDim, params.MeshDim) },
+		},
+		{
+			name:  fmt.Sprintf("torus(%dx%d)", params.TorusDim, params.TorusDim),
+			key:   fmt.Sprintf("torus2d/%d/%d", params.TorusDim, params.TorusDim),
+			build: func() *graph.Graph { return graph.Torus2D(params.TorusDim, params.TorusDim) },
+		},
 	}
-	graphs := []*graph.Graph{
-		graph.RMAT(params.RMATScale, params.RMATEdges*rn, params.Seed),
-		graph.Mesh2D(params.MeshDim, params.MeshDim),
-		graph.Torus2D(params.TorusDim, params.TorusDim),
-	}
-	return names, graphs
 }
 
 // specRef is the cached host reference for one coloring input: the
 // speculative coloring and its round statistics, shared read-only by
-// the dynamics cell and every timing cell on that input.
+// the dynamics cell and every timing cell on that input. Exported
+// fields so the value persists through gob when a disk cache is
+// attached (see sweep.GetAs).
 type specRef struct {
-	color []int32
-	st    coloring.Stats
+	Color []int32
+	Stats coloring.Stats
 }
 
 // RunColoring executes the sweep, verifying every machine run against
@@ -115,32 +135,33 @@ type specRef struct {
 // order; the graph, its CSR, and the speculative reference are each
 // built once per input and shared across the cells.
 func RunColoring(params ColoringParams) (*ColoringResult, error) {
-	names, graphs := coloringInputs(params)
+	inputs := coloringInputs(params)
 	nP := len(params.Procs)
 	stride := 1 + nP // cells per input: dynamics, then one per procs
-	dynamics := make([]ColoringDynamics, len(graphs))
-	rows := make([]ColoringRow, len(graphs)*nP)
-	_, err := runSweep(len(graphs)*stride, stdOpts(), func(idx int, c *Cell) error {
-		gi := idx / stride
-		name, g := names[gi], graphs[gi]
-		ref := cached(c, "specref/"+name, func() specRef {
+	dynamics := make([]ColoringDynamics, len(inputs))
+	rows := make([]ColoringRow, len(inputs)*nP)
+	_, err := runSweep(len(inputs)*stride, stdOpts(), func(idx int, c *Cell) error {
+		in := inputs[idx/stride]
+		gi, name := idx/stride, in.name
+		g := cached(c, in.key, in.build)
+		ref := cached(c, in.key+"/specref", func() specRef {
 			color, st := coloring.Speculative(g)
-			return specRef{color: color, st: st}
+			return specRef{Color: color, Stats: st}
 		})
 
 		if pi := idx%stride - 1; pi < 0 {
 			// Dynamics cell: the machine-independent round behaviour.
 			if params.Verify {
-				if err := coloring.Validate(g, ref.color); err != nil {
+				if err := coloring.Validate(g, ref.Color); err != nil {
 					return fmt.Errorf("coloring %s: reference is improper: %w", name, err)
 				}
 			}
 			dynamics[gi] = ColoringDynamics{
 				Input: name, N: g.N, M: g.M(),
 				SeqColors:  paletteSize(coloring.Sequential(g)),
-				SpecColors: ref.st.Colors,
-				Rounds:     ref.st.Rounds,
-				Conflicts:  ref.st.Conflicts,
+				SpecColors: ref.Stats.Colors,
+				Rounds:     ref.Stats.Rounds,
+				Conflicts:  ref.Stats.Conflicts,
 			}
 			return nil
 		} else {
@@ -150,11 +171,11 @@ func RunColoring(params ColoringParams) (*ColoringResult, error) {
 			mm := c.MTA(mta.DefaultConfig(procs))
 			gotM, stM := coloring.ColorMTA(g, mm, sim.SchedDynamic)
 			if params.Verify {
-				if err := sameColors(ref.color, gotM); err != nil {
+				if err := sameColors(ref.Color, gotM); err != nil {
 					return fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
 				}
-				if stM.Rounds != ref.st.Rounds {
-					return fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, ref.st.Rounds)
+				if stM.Rounds != ref.Stats.Rounds {
+					return fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, ref.Stats.Rounds)
 				}
 			}
 			row.MTASeconds = mm.Seconds()
@@ -162,11 +183,11 @@ func RunColoring(params ColoringParams) (*ColoringResult, error) {
 			sm := c.SMP(smp.DefaultConfig(procs))
 			gotS, stS := coloring.ColorSMP(g, sm)
 			if params.Verify {
-				if err := sameColors(ref.color, gotS); err != nil {
+				if err := sameColors(ref.Color, gotS); err != nil {
 					return fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
 				}
-				if stS.Rounds != ref.st.Rounds {
-					return fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, ref.st.Rounds)
+				if stS.Rounds != ref.Stats.Rounds {
+					return fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, ref.Stats.Rounds)
 				}
 			}
 			row.SMPSeconds = sm.Seconds()

@@ -236,23 +236,25 @@ type TreeEvalRow struct {
 // cell per size; the expression and its sequential value are built once
 // per size and shared by both machine runs.
 func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) {
+	// Exported fields so the value persists through gob when a disk
+	// cache is attached (see sweep.GetAs).
 	type exprRef struct {
-		e    *treecon.Expr
-		want int64
+		E    *treecon.Expr
+		Want int64
 	}
 	rows := make([]TreeEvalRow, len(leaves))
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
 		nl := leaves[idx]
 		ref := cached(c, fmt.Sprintf("expr/%d/%d", nl, seed+uint64(nl)), func() exprRef {
 			e := treecon.RandomExpr(nl, seed+uint64(nl))
-			return exprRef{e: e, want: treecon.EvalSequential(e)}
+			return exprRef{E: e, Want: treecon.EvalSequential(e)}
 		})
 		mm := c.MTA(mta.DefaultConfig(procs))
-		if got := treecon.EvalMTA(ref.e, mm, sim.SchedDynamic); got != ref.want {
+		if got := treecon.EvalMTA(ref.E, mm, sim.SchedDynamic); got != ref.Want {
 			return fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
 		}
 		sm := c.SMP(smp.DefaultConfig(procs))
-		if got := treecon.EvalSMP(ref.e, sm, seed^uint64(nl)); got != ref.want {
+		if got := treecon.EvalSMP(ref.E, sm, seed^uint64(nl)); got != ref.Want {
 			return fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
 		}
 		rows[idx] = TreeEvalRow{Leaves: nl, MTASeconds: mm.Seconds(), SMPSeconds: sm.Seconds()}

@@ -132,10 +132,12 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}
 
 	case "prefix":
+		// Exported fields so the value persists through gob when a disk
+		// cache is attached (see sweep.GetAs).
 		type prefixIn struct {
-			l    *list.List
-			vals []int64
-			want []int64
+			L    *list.List
+			Vals []int64
+			Want []int64
 		}
 		getIn := func(c *Cell) prefixIn {
 			return cached(c, fmt.Sprintf("prefix/%d/%s/%d", n, params.Layout, params.Seed), func() prefixIn {
@@ -145,7 +147,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 				for i := range vals {
 					vals[i] = int64(r.Intn(1000)) - 500
 				}
-				return prefixIn{l: l, vals: vals, want: listrank.SequentialPrefix(l, vals)}
+				return prefixIn{L: l, Vals: vals, Want: listrank.SequentialPrefix(l, vals)}
 			})
 		}
 		check := func(want, got []int64) error {
@@ -158,22 +160,22 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
 			in := getIn(c)
-			return check(in.want, listrank.PrefixMTA(in.l, in.vals, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic))
+			return check(in.Want, listrank.PrefixMTA(in.L, in.Vals, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic))
 		}
 		smpKernel = func(c *Cell, m *smp.Machine) error {
 			in := getIn(c)
-			return check(in.want, listrank.PrefixSMP(in.l, in.vals, m, 8*params.Procs, params.Seed))
+			return check(in.Want, listrank.PrefixSMP(in.L, in.Vals, m, 8*params.Procs, params.Seed))
 		}
 
 	case "treecon":
 		type exprIn struct {
-			e    *treecon.Expr
-			want int64
+			E    *treecon.Expr
+			Want int64
 		}
 		getIn := func(c *Cell) exprIn {
 			return cached(c, fmt.Sprintf("expr/%d/%d", n, params.Seed), func() exprIn {
 				e := treecon.RandomExpr(n, params.Seed)
-				return exprIn{e: e, want: treecon.EvalSequential(e)}
+				return exprIn{E: e, Want: treecon.EvalSequential(e)}
 			})
 		}
 		check := func(want, got int64) error {
@@ -184,11 +186,11 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
 			in := getIn(c)
-			return check(in.want, treecon.EvalMTA(in.e, m, sim.SchedDynamic))
+			return check(in.Want, treecon.EvalMTA(in.E, m, sim.SchedDynamic))
 		}
 		smpKernel = func(c *Cell, m *smp.Machine) error {
 			in := getIn(c)
-			return check(in.want, treecon.EvalSMP(in.e, m, params.Seed))
+			return check(in.Want, treecon.EvalSMP(in.E, m, params.Seed))
 		}
 
 	case "coloring":
@@ -263,6 +265,9 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 	rec := &trace.Recorder{}
 	res := &ProfileResult{Params: params, Recorder: rec, Runs: runs}
 	for i := range runs {
+		if recs[i] == nil { // cell owned by another shard
+			continue
+		}
 		runs[i].Events = len(recs[i].Events)
 		rec.Events = append(rec.Events, recs[i].Events...)
 	}

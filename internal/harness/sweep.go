@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sync"
 
 	"pargraph/internal/mta"
@@ -18,6 +19,13 @@ import (
 // experiments — the cmds wire their -jobs flag here. It composes with
 // HostWorkers, which stays per-cell (within-region replay).
 var Jobs = 1
+
+// Interrupt, when non-nil, cancels in-flight sweeps: once it is done,
+// sweeps stop dispatching new cells and return its cause (a real cell
+// error still wins the report). The cmds wire signal.NotifyContext here
+// so Ctrl-C abandons a long run at the next cell boundary instead of
+// mid-artifact.
+var Interrupt context.Context
 
 // sweepEnv is the state one Run* sweep shares across its cells: the
 // single-flight input cache and the pools of reusable simulator
@@ -164,14 +172,28 @@ func ablSweep(n int, cell func(i int, c *Cell) error) error {
 // to what the sequential harness would have emitted into TraceSink
 // directly. The lowest-index cell error is returned; all cells run
 // regardless (the scheduler's determinism contract).
+//
+// Under an active Shard only owned cells execute; the rest leave their
+// output slots (and recorders) zero, which is what makes shard partials
+// mergeable slot-wise (see shard.go). With CacheStore attached, the
+// sweep's input cache persists to disk, so shard processes generate
+// each shared input once between them instead of once each.
 func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.Recorder, error) {
 	env := newSweepEnv()
-	record := opts.record || TraceSink != nil
+	env.inputs.Disk = CacheStore
+	record := opts.record || TraceSink != nil || PartialTraces != nil
 	var recs []*trace.Recorder
 	if record {
 		recs = make([]*trace.Recorder, n)
 	}
-	err := sweep.Run(n, Jobs, func(i int) error {
+	ctx := Interrupt
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	err := sweep.RunCtx(ctx, n, Jobs, func(i int) error {
+		if !Shard.Owns(i) {
+			return nil
+		}
 		c := &Cell{env: env, sample: opts.sample}
 		if record {
 			c.rec = &trace.Recorder{}
@@ -192,6 +214,9 @@ func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.
 				TraceSink.Emit(e)
 			}
 		}
+	}
+	if PartialTraces != nil {
+		PartialTraces.addSweep(recs)
 	}
 	return recs, err
 }

@@ -1,0 +1,50 @@
+package list
+
+import (
+	"errors"
+
+	"pargraph/internal/binenc"
+)
+
+// listCodecVersion guards the persistent representation below; bump it
+// if the layout changes meaning.
+const listCodecVersion = 1
+
+// MarshalBinary is the list's persistent-cache representation
+// (internal/sweep's disk-backed input cache): a version word, the head
+// index, and the successor array as little-endian words. It also backs
+// GobEncode so a List nested in a gob-encoded aggregate takes the fast
+// path instead of gob's per-element reflection.
+func (l *List) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+8+8*len(l.Succ))
+	buf = binenc.AppendUint64(buf, listCodecVersion)
+	buf = binenc.AppendUint64(buf, uint64(l.Head))
+	buf = binenc.AppendInt64s(buf, l.Succ)
+	return buf, nil
+}
+
+// UnmarshalBinary is MarshalBinary's inverse. Corrupt input returns an
+// error; the disk cache treats that as a miss and rebuilds.
+func (l *List) UnmarshalBinary(data []byte) error {
+	version, rest, ok := binenc.ConsumeUint64(data)
+	if !ok || version != listCodecVersion {
+		return errors.New("list: bad encoding version")
+	}
+	head, rest, ok := binenc.ConsumeUint64(rest)
+	if !ok {
+		return errors.New("list: truncated header")
+	}
+	succ, rest, ok := binenc.ConsumeInt64s(rest)
+	if !ok || len(rest) != 0 {
+		return errors.New("list: truncated successor array")
+	}
+	l.Head = int(head)
+	l.Succ = succ
+	return nil
+}
+
+// GobEncode routes gob through the fast binary representation.
+func (l *List) GobEncode() ([]byte, error) { return l.MarshalBinary() }
+
+// GobDecode routes gob through the fast binary representation.
+func (l *List) GobDecode(data []byte) error { return l.UnmarshalBinary(data) }

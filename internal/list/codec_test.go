@@ -1,0 +1,76 @@
+package list
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{Ordered, Random, Clustered} {
+		orig := New(1000, layout, 42)
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got List
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if got.Head != orig.Head || len(got.Succ) != len(orig.Succ) {
+			t.Fatalf("%v: head %d vs %d, len %d vs %d", layout, got.Head, orig.Head, len(got.Succ), len(orig.Succ))
+		}
+		for i := range got.Succ {
+			if got.Succ[i] != orig.Succ[i] {
+				t.Fatalf("%v: succ[%d] = %d, want %d", layout, i, got.Succ[i], orig.Succ[i])
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%v: decoded list invalid: %v", layout, err)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	data, err := New(16, Random, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l List
+	for cut := 0; cut < len(data); cut += 5 {
+		if err := l.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff // version word
+	if err := l.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if err := l.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestGobUsesFastPath: gob-encoding a List must produce the compact
+// binary representation (plus gob framing), not a reflected struct.
+func TestGobUsesFastPath(t *testing.T) {
+	orig := New(1000, Random, 3)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var got List
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Head != orig.Head || len(got.Succ) != len(orig.Succ) {
+		t.Fatal("gob round trip mismatch")
+	}
+	raw, _ := orig.MarshalBinary()
+	// Gob framing overhead is small and fixed; a reflected encoding of
+	// the int64 slice would be far larger than the raw representation.
+	if buf.Cap() > len(raw)+256 {
+		t.Fatalf("gob encoding suspiciously large: %d vs %d raw", buf.Cap(), len(raw))
+	}
+}

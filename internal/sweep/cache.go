@@ -1,8 +1,14 @@
 package sweep
 
 import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
 	"fmt"
+	"reflect"
 	"sync"
+
+	"pargraph/internal/diskcache"
 )
 
 // Cache is a content-keyed, single-flight store for the read-only
@@ -16,9 +22,18 @@ import (
 //
 // The zero Cache is ready to use. A Cache is scoped to one sweep so its
 // inputs die with the sweep instead of accumulating across experiments.
+// With Disk attached (set before the sweep starts), values additionally
+// persist across sweeps, runs, and processes: see GetAs.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+
+	// Disk, when non-nil, backs the in-memory cache with a persistent
+	// content-addressed store: GetAs consults it before building and
+	// writes freshly built values back, so shard processes and repeated
+	// runs share one generation of each input. Set it before the first
+	// Get; nil keeps the cache memory-only.
+	Disk *diskcache.Store
 }
 
 type cacheEntry struct {
@@ -68,11 +83,86 @@ func (c *Cache) Len() int {
 // GetAs is the typed wrapper over Cache.Get: it builds (or waits for)
 // the value under key and asserts it to T. Mixing types under one key
 // is a programming error and panics on the assertion.
+//
+// With c.Disk attached, the single-flight build first tries the
+// persistent store: a valid entry is decoded instead of rebuilt (the
+// warm fast path), and anything suspect — missing, truncated, corrupt,
+// written under another schema, or not decodable as T — falls back to
+// build, whose result is then written back best-effort. Cache warmth is
+// never load-bearing: a failed disk read or write costs one rebuild or
+// one re-generation on the next run, not an error.
+//
+// Types that implement encoding.BinaryMarshaler/BinaryUnmarshaler (as
+// the big workload types do, via internal/binenc) persist through those
+// methods; everything else goes through gob. The warm path must beat
+// regeneration to be worth anything, and gob's per-element reflection
+// loses that race on multi-megabyte slices by an order of magnitude.
 func GetAs[T any](c *Cache, key string, build func() (T, error)) (T, error) {
-	v, err := c.Get(key, func() (any, error) { return build() })
+	v, err := c.Get(key, func() (any, error) {
+		disk := c.Disk
+		if disk == nil {
+			return build()
+		}
+		if data, ok := disk.Get(key); ok {
+			if v, ok := decodeValue[T](data); ok {
+				return v, nil
+			}
+		}
+		v, err := build()
+		if err == nil {
+			if data, ok := encodeValue(v); ok {
+				disk.Put(key, data)
+			}
+		}
+		return v, err
+	})
 	if err != nil {
 		var zero T
 		return zero, err
 	}
 	return v.(T), nil
+}
+
+var binaryUnmarshalerType = reflect.TypeFor[encoding.BinaryUnmarshaler]()
+
+// encodeValue serializes v for the persistent store: the type's own
+// MarshalBinary when it has one (checked on the value and its address,
+// so value types with pointer-receiver marshalers qualify too), gob
+// otherwise.
+func encodeValue[T any](v T) ([]byte, bool) {
+	m, ok := any(v).(encoding.BinaryMarshaler)
+	if !ok {
+		m, ok = any(&v).(encoding.BinaryMarshaler)
+	}
+	if ok {
+		data, err := m.MarshalBinary()
+		return data, err == nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decodeValue is encodeValue's inverse; the two must agree on the
+// representation for a given T, and do, because both key off the same
+// interface checks. For pointer-typed T the unmarshaler hangs off T
+// itself, so decode allocates the pointee reflectively.
+func decodeValue[T any](data []byte) (T, bool) {
+	var v T
+	if u, ok := any(&v).(encoding.BinaryUnmarshaler); ok {
+		return v, u.UnmarshalBinary(data) == nil
+	}
+	if rt := reflect.TypeFor[T](); rt.Kind() == reflect.Pointer && rt.Implements(binaryUnmarshalerType) {
+		p := reflect.New(rt.Elem())
+		if p.Interface().(encoding.BinaryUnmarshaler).UnmarshalBinary(data) != nil {
+			return v, false
+		}
+		return p.Interface().(T), true
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return v, false
+	}
+	return v, true
 }

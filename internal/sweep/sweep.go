@@ -20,12 +20,34 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// Shard names the slice of a sweep's cells one process owns: those
+// whose index i satisfies i % Count == Index. Cells are dispatched in
+// ascending index order and their outputs are index-slotted, so the
+// modulo assignment is stable across processes by construction — every
+// shard agrees on which cells are whose without coordination, and a
+// merge of all Count shards' slots reassembles exactly the unsharded
+// result. The zero Shard (Count 0) owns every cell, as does 0/1.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Active reports whether the shard actually partitions the sweep
+// (Count >= 2); inactive shards own everything.
+func (s Shard) Active() bool { return s.Count >= 2 }
+
+// Owns reports whether cell i belongs to this shard.
+func (s Shard) Owns(i int) bool { return !s.Active() || i%s.Count == s.Index }
+
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
 
 // PanicError is the error Run reports for a cell whose function
 // panicked: the panic is confined to its cell (other cells still run to
@@ -51,6 +73,19 @@ func (e *PanicError) Error() string {
 // of jobs. A panic inside a cell is captured as a *PanicError for that
 // cell.
 func Run(n, jobs int, cell func(i int) error) error {
+	return RunCtx(context.Background(), n, jobs, cell)
+}
+
+// RunCtx is Run under a context: once ctx is cancelled no further cells
+// are dispatched, so an interrupted run (a shard getting SIGTERM from
+// its coordinator, say) exits after at most the jobs cells already in
+// flight instead of draining the whole dispatch counter. Cancellation
+// is the one departure from the determinism contract — the set of
+// attempted cells becomes whatever was dispatched in ascending order
+// before the cancel landed. If a dispatched cell also failed, its
+// lowest-index error wins; otherwise a cancelled run reports ctx's
+// cause.
+func RunCtx(ctx context.Context, n, jobs int, cell func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -66,6 +101,9 @@ func Run(n, jobs int, cell func(i int) error) error {
 	errs := make([]error, n)
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return firstErrorOr(errs, context.Cause(ctx))
+			}
 			errs[i] = runCell(i, cell)
 		}
 		return firstError(errs)
@@ -76,7 +114,7 @@ func Run(n, jobs int, cell func(i int) error) error {
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -86,6 +124,9 @@ func Run(n, jobs int, cell func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return firstErrorOr(errs, context.Cause(ctx))
+	}
 	return firstError(errs)
 }
 
@@ -106,4 +147,13 @@ func firstError(errs []error) error {
 		}
 	}
 	return nil
+}
+
+// firstErrorOr reports the lowest-index cell error, falling back to the
+// cancellation cause when every attempted cell succeeded.
+func firstErrorOr(errs []error, cause error) error {
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	return cause
 }

@@ -1,0 +1,74 @@
+package treecon
+
+import (
+	"errors"
+
+	"pargraph/internal/binenc"
+)
+
+// exprCodecVersion guards the persistent representation below; bump it
+// if the layout changes meaning.
+const exprCodecVersion = 1
+
+// MarshalBinary is the expression tree's persistent-cache
+// representation (internal/sweep's disk-backed input cache): version,
+// root, then the four node arrays. Also backs GobEncode for aggregates.
+func (e *Expr) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 32+len(e.Op)+8*(len(e.Left)+len(e.Right))/2+8*len(e.Val))
+	buf = binenc.AppendUint64(buf, exprCodecVersion)
+	buf = binenc.AppendUint64(buf, uint64(uint32(e.Root)))
+	buf = binenc.AppendUint64(buf, uint64(len(e.Op)))
+	for _, op := range e.Op {
+		buf = append(buf, byte(op))
+	}
+	buf = binenc.AppendInt32s(buf, e.Left)
+	buf = binenc.AppendInt32s(buf, e.Right)
+	buf = binenc.AppendInt64s(buf, e.Val)
+	return buf, nil
+}
+
+// UnmarshalBinary is MarshalBinary's inverse. Corrupt input returns an
+// error; the disk cache treats that as a miss and rebuilds.
+func (e *Expr) UnmarshalBinary(data []byte) error {
+	version, rest, ok := binenc.ConsumeUint64(data)
+	if !ok || version != exprCodecVersion {
+		return errors.New("treecon: bad encoding version")
+	}
+	root, rest, ok := binenc.ConsumeUint64(rest)
+	if !ok {
+		return errors.New("treecon: truncated header")
+	}
+	nOp, rest, ok := binenc.ConsumeUint64(rest)
+	if !ok || uint64(len(rest)) < nOp {
+		return errors.New("treecon: truncated op array")
+	}
+	ops := make([]OpKind, nOp)
+	for i := range ops {
+		ops[i] = OpKind(rest[i])
+	}
+	rest = rest[nOp:]
+	left, rest, ok := binenc.ConsumeInt32s(rest)
+	if !ok {
+		return errors.New("treecon: truncated left array")
+	}
+	right, rest, ok := binenc.ConsumeInt32s(rest)
+	if !ok {
+		return errors.New("treecon: truncated right array")
+	}
+	val, rest, ok := binenc.ConsumeInt64s(rest)
+	if !ok || len(rest) != 0 {
+		return errors.New("treecon: truncated value array")
+	}
+	e.Root = int32(uint32(root))
+	e.Op = ops
+	e.Left = left
+	e.Right = right
+	e.Val = val
+	return nil
+}
+
+// GobEncode routes gob through the fast binary representation.
+func (e *Expr) GobEncode() ([]byte, error) { return e.MarshalBinary() }
+
+// GobDecode routes gob through the fast binary representation.
+func (e *Expr) GobDecode(data []byte) error { return e.UnmarshalBinary(data) }

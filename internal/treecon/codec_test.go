@@ -1,0 +1,45 @@
+package treecon
+
+import "testing"
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := RandomExpr(1000, 17)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Expr
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != orig.Root || len(got.Op) != len(orig.Op) {
+		t.Fatalf("shape mismatch: root %d vs %d, len %d vs %d", got.Root, orig.Root, len(got.Op), len(orig.Op))
+	}
+	for i := range got.Op {
+		if got.Op[i] != orig.Op[i] || got.Left[i] != orig.Left[i] || got.Right[i] != orig.Right[i] || got.Val[i] != orig.Val[i] {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded expr invalid: %v", err)
+	}
+	if a, b := EvalSequential(orig), EvalSequential(&got); a != b {
+		t.Fatalf("decoded expr evaluates to %d, want %d", b, a)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	data, err := RandomExpr(16, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Expr
+	for cut := 0; cut < len(data); cut += 9 {
+		if err := e.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := e.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

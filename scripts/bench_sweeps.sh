@@ -19,11 +19,15 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 gover=$(go version | awk '{print $3}')
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+# Stamp the effective GOMAXPROCS too: a run capped by the environment is
+# not comparable to one given the whole machine, and the committed JSON
+# should say which it was.
+gomaxprocs=${GOMAXPROCS:-$cores}
 
 go test -run '^$' -bench 'BenchmarkSweepScaling' \
     -benchtime 1x -count 3 . | tee "$raw"
 
-awk -v commit="$commit" -v stamp="$stamp" -v gover="$gover" -v cores="$cores" '
+awk -v commit="$commit" -v stamp="$stamp" -v gover="$gover" -v cores="$cores" -v gomaxprocs="$gomaxprocs" '
 /^Benchmark/ && $4 == "ns/op" {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -40,7 +44,8 @@ END {
     printf "    \"commit\": \"%s\",\n", commit
     printf "    \"date\": \"%s\",\n", stamp
     printf "    \"go\": \"%s\",\n", gover
-    printf "    \"cores\": %d\n", cores
+    printf "    \"cores\": %d,\n", cores
+    printf "    \"gomaxprocs\": %d\n", gomaxprocs
     printf "  },\n"
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {

@@ -8,8 +8,18 @@
 # guard exists for (adding workers makes replay structurally slower,
 # which before the worker cap measured +26% and up) trips it.
 #
+# On hosts with fewer than 4 cores the workers=4 configuration cannot
+# express its parallelism and the ratio measures scheduler thrash, not
+# the regression this guard exists for — skip rather than flake.
+#
 # Usage: scripts/check_host_scaling.sh
 set -eu
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -lt 4 ]; then
+    echo "check_host_scaling: SKIP — host has $cores core(s); the workers=4 vs workers=1 ratio needs >= 4"
+    exit 0
+fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

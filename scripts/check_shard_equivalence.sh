@@ -1,0 +1,42 @@
+#!/bin/sh
+# CI guard for the sharding contract: the fig1 sweep run as a full shard
+# set and merged by cmd/shardmerge must be byte-identical to the
+# unsharded run — report JSON for shard counts 2 and 4, and the Chrome
+# trace for count 2 (shards carry their events with -withtrace). Any
+# drift between the sharded and unsharded paths — a cell skipped by the
+# wrong shard, a merge reordering, a float re-rendered differently —
+# shows up here as a diff, not as a quietly wrong figure.
+#
+# Usage: scripts/check_shard_equivalence.sh
+set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/figures" ./cmd/figures
+go build -o "$workdir/shardmerge" ./cmd/shardmerge
+
+"$workdir/figures" -fig 1 -json -trace "$workdir/unsharded_trace.json" \
+    >"$workdir/unsharded.json" 2>/dev/null
+
+for n in 2 4; do
+    cache="$workdir/cache$n"
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        "$workdir/figures" -fig 1 -json -shard "$i/$n" -cache-dir "$cache" -withtrace \
+            >"$workdir/part$n.$i.json"
+        i=$((i + 1))
+    done
+    "$workdir/shardmerge" -json "$workdir/merged$n.json" \
+        -trace "$workdir/merged_trace$n.json" "$workdir"/part$n.*.json
+    if ! cmp -s "$workdir/unsharded.json" "$workdir/merged$n.json"; then
+        echo "check_shard_equivalence: FAIL — N=$n merged report differs from unsharded"
+        diff "$workdir/unsharded.json" "$workdir/merged$n.json" | head -20
+        exit 1
+    fi
+    if ! cmp -s "$workdir/unsharded_trace.json" "$workdir/merged_trace$n.json"; then
+        echo "check_shard_equivalence: FAIL — N=$n merged trace differs from unsharded"
+        exit 1
+    fi
+    echo "check_shard_equivalence: N=$n merged report and trace byte-identical to unsharded"
+done
