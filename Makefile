@@ -1,17 +1,24 @@
 GO ?= go
 
-.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence verify
+# One git consultation per make invocation: every binary built through
+# this Makefile carries the commit identity, so manifests and bench
+# metas record provenance without shelling out to git at run time.
+COMMIT := $(shell sh scripts/version.sh)
+LDFLAGS = -X pargraph/internal/cmdutil.Commit=$(COMMIT)
+
+.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence check-reproducibility verify
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
 
 # Race-check the simulator packages, the kernels that replay on them,
-# and the cross-process disk cache.
+# the cross-process disk cache, and the spec/manifest/runner layers
+# that drive them from experiment specs.
 race:
-	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/ ./internal/coloring/ ./internal/diskcache/
+	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/ ./internal/coloring/ ./internal/diskcache/ ./internal/spec/ ./internal/manifest/ ./internal/runner/
 
 vet:
 	$(GO) vet ./...
@@ -42,5 +49,11 @@ check-sweep-scaling:
 # is not byte-identical to the unsharded run, for N in {2, 4}.
 check-shard-equivalence:
 	sh scripts/check_shard_equivalence.sh
+
+# Fail if the checked-in specs do not regenerate their artifacts
+# byte-identically to flag-driven runs, or if cmd/reproduce fails to
+# pass a clean manifest / catch a corrupted artifact.
+check-reproducibility:
+	sh scripts/check_reproducibility.sh
 
 verify: vet build test

@@ -9,55 +9,22 @@
 //	coloring -gen mesh2d -rows 64 -cols 64 -machine smp -p 4
 //	coloring -gen gnm -n 100000 -m 800000 -machine seq
 //	coloring -machine mta -trace t.json -attr a.csv -workers 4
+//	coloring -spec specs/e8_coloring.toml -emit-manifest c.manifest.json
 package main
 
 import (
-	"bufio"
 	"flag"
-	"fmt"
 	"log"
-	"os"
-	"strings"
 
-	"pargraph/internal/cmdutil"
-	"pargraph/internal/coloring"
-	"pargraph/internal/gio"
-	"pargraph/internal/graph"
-	"pargraph/internal/mta"
-	"pargraph/internal/sim"
-	"pargraph/internal/smp"
-	"pargraph/internal/trace"
+	"pargraph/internal/runner"
+	"pargraph/internal/spec"
 )
-
-func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) (*graph.Graph, error) {
-	if err := cmdutil.CheckGraphGen(gen, n, m, rows, cols, depth); err != nil {
-		return nil, err
-	}
-	switch gen {
-	case "gnm":
-		return graph.RandomGnm(n, m, seed), nil
-	case "rmat":
-		scale := 0
-		for 1<<scale < n {
-			scale++
-		}
-		if scale < 1 {
-			scale = 1
-		}
-		return graph.RMAT(scale, m, seed), nil
-	case "mesh2d":
-		return graph.Mesh2D(rows, cols), nil
-	case "mesh3d":
-		return graph.Mesh3D(rows, cols, depth), nil
-	default: // torus; CheckGraphGen already rejected unknown names
-		return graph.Torus2D(rows, cols), nil
-	}
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("coloring: ")
 	var (
+		specPath = flag.String("spec", "", "load the experiment from this spec file (TOML); explicit flags override its fields")
 		gen      = flag.String("gen", "rmat", "graph generator: gnm, rmat, mesh2d, mesh3d, torus")
 		n        = flag.Int("n", 1<<14, "vertices (gnm/rmat)")
 		m        = flag.Int("m", 8<<14, "edges (gnm/rmat)")
@@ -74,177 +41,56 @@ func main() {
 		attrOut  = flag.String("attr", "", "write the per-region attribution as CSV to this file (simulated machines)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
+		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
-	w, err := cmdutil.ResolveWorkers(*workers)
+
+	sp, err := runner.LoadSpec(*specPath, spec.CmdColoring)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "gen":
+			sp.Workload.Gen = *gen
+		case "n":
+			sp.Workload.N = *n
+		case "m":
+			sp.Workload.M = *m
+		case "rows":
+			sp.Workload.Rows = *rows
+		case "cols":
+			sp.Workload.Cols = *cols
+		case "depth":
+			sp.Workload.Depth = *depth
+		case "machine":
+			sp.Workload.Machine = *machine
+		case "p":
+			sp.Workload.Procs = *procs
+		case "sched":
+			sp.Workload.Sched = *schedS
+		case "seed":
+			sp.Run.Seed = *seed
+		case "verify":
+			sp.Workload.Verify = *verify
+		case "in":
+			sp.Workload.Input = *inFile
+		case "trace":
+			sp.Output.Trace = *traceOut
+		case "attr":
+			sp.Output.Attr = *attrOut
+		case "workers":
+			sp.Run.Workers = *workers
+		case "jobs":
+			sp.Run.Jobs = *jobs
+		case "emit-manifest":
+			sp.Output.Manifest = *manifest
+		}
+	})
+	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
+	if err := runner.Run(sp, runner.Options{}); err != nil {
 		log.Fatal(err)
 	}
-	sched := sim.SchedDynamic
-	switch *schedS {
-	case "dynamic":
-	case "block":
-		sched = sim.SchedBlock
-	default:
-		log.Fatalf("unknown schedule %q (want dynamic or block)", *schedS)
-	}
-
-	var g *graph.Graph
-	if *inFile != "" {
-		f, err := os.Open(*inFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err = gio.ReadDIMACS(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		g, err = buildGraph(*gen, *n, *m, *rows, *cols, *depth, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("graph: %s n=%d m=%d maxdeg=%d\n", *gen, g.N, g.M(), g.MaxDegree())
-
-	var rec *trace.Recorder
-	if *traceOut != "" || *attrOut != "" {
-		rec = &trace.Recorder{}
-	}
-	writeArtifacts := func() {
-		if rec == nil {
-			return
-		}
-		render := func(path string, f func(*bufio.Writer) error) {
-			out, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			bw := bufio.NewWriter(out)
-			if err := f(bw); err != nil {
-				log.Fatal(err)
-			}
-			if err := bw.Flush(); err != nil {
-				log.Fatal(err)
-			}
-			if err := out.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}
-		if *traceOut != "" {
-			render(*traceOut, func(bw *bufio.Writer) error { return rec.WriteChromeTrace(bw) })
-			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *traceOut)
-		}
-		if *attrOut != "" {
-			render(*attrOut, func(bw *bufio.Writer) error { return rec.WriteAttributionCSV(bw) })
-			fmt.Fprintf(os.Stderr, "wrote attribution CSV to %s\n", *attrOut)
-		}
-	}
-	printStats := func(st coloring.Stats) {
-		parts := make([]string, len(st.Conflicts))
-		for i, c := range st.Conflicts {
-			parts[i] = fmt.Sprintf("%d", c)
-		}
-		fmt.Printf("colors: %d  rounds: %d  conflicts/round: %s (total %d)\n",
-			st.Colors, st.Rounds, strings.Join(parts, ","), st.TotalConflicts())
-	}
-
-	var color []int32
-	var haveRef bool
-	var ref []int32
-	reference := func() []int32 {
-		if !haveRef {
-			ref, _ = coloring.Speculative(g)
-			haveRef = true
-		}
-		return ref
-	}
-
-	switch *machine {
-	case "mta":
-		mm := mta.New(mta.DefaultConfig(*procs))
-		mm.SetHostWorkers(w)
-		if rec != nil {
-			mm.SetSink(rec)
-		}
-		var st coloring.Stats
-		color, st = coloring.ColorMTA(g, mm, sched)
-		mst := mm.Stats()
-		fmt.Printf("machine=MTA p=%d\n", *procs)
-		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
-		fmt.Printf("utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
-			mm.Utilization()*100, mst.Refs, mst.Regions, mst.Barriers)
-		printStats(st)
-		writeArtifacts()
-		if *verify {
-			if err := sameColors(reference(), color); err != nil {
-				log.Fatalf("VERIFICATION FAILED: %v", err)
-			}
-		}
-	case "smp":
-		sm := smp.New(smp.DefaultConfig(*procs))
-		sm.SetHostWorkers(w)
-		if rec != nil {
-			sm.SetSink(rec)
-		}
-		var st coloring.Stats
-		color, st = coloring.ColorSMP(g, sm)
-		sst := sm.Stats()
-		total := sst.L1Hits + sst.L2Hits + sst.Misses
-		fmt.Printf("machine=SMP p=%d\n", *procs)
-		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", sm.Seconds(), sm.Cycles())
-		fmt.Printf("refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
-			total,
-			100*float64(sst.L1Hits)/float64(total),
-			100*float64(sst.L2Hits)/float64(total),
-			100*float64(sst.Misses)/float64(total),
-			sst.Barriers)
-		printStats(st)
-		writeArtifacts()
-		if *verify {
-			if err := sameColors(reference(), color); err != nil {
-				log.Fatalf("VERIFICATION FAILED: %v", err)
-			}
-		}
-	case "spec":
-		var st coloring.Stats
-		color, st = coloring.Speculative(g)
-		fmt.Println("machine=host(speculative rounds)")
-		printStats(st)
-	case "seq":
-		color = coloring.Sequential(g)
-		max := int32(-1)
-		for _, c := range color {
-			if c > max {
-				max = c
-			}
-		}
-		fmt.Printf("machine=sequential(first-fit)\ncolors: %d\n", max+1)
-	default:
-		log.Fatalf("unknown machine %q (want mta, smp, spec, or seq)", *machine)
-	}
-
-	if *verify {
-		if err := coloring.Validate(g, color); err != nil {
-			log.Fatalf("VERIFICATION FAILED: %v", err)
-		}
-		fmt.Println("coloring verified ok")
-	}
-}
-
-// sameColors checks the machine run against the host reference.
-func sameColors(want, got []int32) error {
-	for i := range want {
-		if want[i] != got[i] {
-			return fmt.Errorf("color[%d] = %d, host reference says %d", i, got[i], want[i])
-		}
-	}
-	return nil
 }

@@ -36,12 +36,12 @@ func TestSmokeDIMACSInput(t *testing.T) {
 }
 
 func TestRejectsBadFlags(t *testing.T) {
-	cmdtest.RunError(t, []string{"-workers", "-1"}, "-workers must be >= 0")
-	cmdtest.RunError(t, []string{"-p", "0"}, "-p")
+	cmdtest.RunError(t, []string{"-workers", "-1"}, "workers must be >= 0")
+	cmdtest.RunError(t, []string{"-p", "0"}, "procs must be positive")
 	cmdtest.RunError(t, []string{"-gen", "gnm", "-n", "0"})
 	cmdtest.RunError(t, []string{"-gen", "gnm", "-n", "4", "-m", "100"})
 	cmdtest.RunError(t, []string{"-gen", "petersen"})
-	cmdtest.RunError(t, []string{"-sched", "zigzag"}, "unknown schedule")
+	cmdtest.RunError(t, []string{"-sched", "zigzag"}, "sched must be one of dynamic, block")
 }
 
 func TestRejectsMalformedDIMACS(t *testing.T) {

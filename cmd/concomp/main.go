@@ -8,54 +8,22 @@
 //	concomp -gen mesh2d -rows 1024 -cols 1024 -machine smp -p 4
 //	concomp -n 1048576 -m 8388608 -machine native -p 8
 //	concomp -n 1048576 -m 8388608 -machine seq
+//	concomp -spec specs/concomp.toml -emit-manifest cc.manifest.json
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"os"
-	"time"
 
-	"pargraph/internal/cmdutil"
-	"pargraph/internal/concomp"
-	"pargraph/internal/gio"
-	"pargraph/internal/graph"
-	"pargraph/internal/mta"
-	"pargraph/internal/sim"
-	"pargraph/internal/smp"
-	"pargraph/internal/trace"
+	"pargraph/internal/runner"
+	"pargraph/internal/spec"
 )
-
-func buildGraph(gen string, n, m, rows, cols, depth int, seed uint64) (*graph.Graph, error) {
-	if err := cmdutil.CheckGraphGen(gen, n, m, rows, cols, depth); err != nil {
-		return nil, err
-	}
-	switch gen {
-	case "gnm":
-		return graph.RandomGnm(n, m, seed), nil
-	case "rmat":
-		scale := 0
-		for 1<<scale < n {
-			scale++
-		}
-		if scale < 1 {
-			scale = 1
-		}
-		return graph.RMAT(scale, m, seed), nil
-	case "mesh2d":
-		return graph.Mesh2D(rows, cols), nil
-	case "mesh3d":
-		return graph.Mesh3D(rows, cols, depth), nil
-	default: // torus; CheckGraphGen already rejected unknown names
-		return graph.Torus2D(rows, cols), nil
-	}
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("concomp: ")
 	var (
+		specPath = flag.String("spec", "", "load the experiment from this spec file (TOML); explicit flags override its fields")
 		gen      = flag.String("gen", "gnm", "graph generator: gnm, rmat, mesh2d, mesh3d, torus")
 		n        = flag.Int("n", 1<<18, "vertices (gnm)")
 		m        = flag.Int("m", 4<<18, "edges (gnm)")
@@ -71,141 +39,52 @@ func main() {
 		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
+		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
-	w, err := cmdutil.ResolveWorkers(*workers)
+
+	sp, err := runner.LoadSpec(*specPath, spec.CmdConcomp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	*workers = w
-	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "gen":
+			sp.Workload.Gen = *gen
+		case "n":
+			sp.Workload.N = *n
+		case "m":
+			sp.Workload.M = *m
+		case "rows":
+			sp.Workload.Rows = *rows
+		case "cols":
+			sp.Workload.Cols = *cols
+		case "depth":
+			sp.Workload.Depth = *depth
+		case "machine":
+			sp.Workload.Machine = *machine
+		case "p":
+			sp.Workload.Procs = *procs
+		case "seed":
+			sp.Run.Seed = *seed
+		case "verify":
+			sp.Workload.Verify = *verify
+		case "in":
+			sp.Workload.Input = *inFile
+		case "trace-json":
+			sp.Output.Trace = *traceOut
+		case "workers":
+			sp.Run.Workers = *workers
+		case "jobs":
+			sp.Run.Jobs = *jobs
+		case "emit-manifest":
+			sp.Output.Manifest = *manifest
+		}
+	})
+	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
+	if err := runner.Run(sp, runner.Options{DumpGraph: *outFile}); err != nil {
 		log.Fatal(err)
-	}
-	var rec *trace.Recorder
-	if *traceOut != "" {
-		rec = &trace.Recorder{}
-	}
-	writeTraceJSON := func() {
-		if rec == nil {
-			return
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := rec.WriteChromeTrace(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var g *graph.Graph
-	if *inFile != "" {
-		f, err := os.Open(*inFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err = gio.ReadDIMACS(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		g, err = buildGraph(*gen, *n, *m, *rows, *cols, *depth, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := gio.WriteDIMACS(f, g); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("graph: %s n=%d m=%d\n", *gen, g.N, g.M())
-
-	var labels []int32
-	switch *machine {
-	case "mta", "mta-star":
-		mm := mta.New(mta.DefaultConfig(*procs))
-		mm.SetHostWorkers(*workers)
-		if rec != nil {
-			mm.SetSink(rec)
-		}
-		if *machine == "mta" {
-			labels = concomp.LabelMTA(g, mm, sim.SchedDynamic)
-		} else {
-			labels = concomp.LabelMTAStarCheck(g, mm, sim.SchedDynamic)
-		}
-		st := mm.Stats()
-		fmt.Printf("machine=%s p=%d\n", *machine, *procs)
-		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
-		fmt.Printf("utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
-			mm.Utilization()*100, st.Refs, st.Regions, st.Barriers)
-		writeTraceJSON()
-	case "smp":
-		sm := smp.New(smp.DefaultConfig(*procs))
-		sm.SetHostWorkers(*workers)
-		if rec != nil {
-			sm.SetSink(rec)
-		}
-		labels = concomp.LabelSMP(g, sm)
-		st := sm.Stats()
-		total := st.L1Hits + st.L2Hits + st.Misses
-		fmt.Printf("machine=SMP p=%d\n", *procs)
-		fmt.Printf("simulated: %.6f s (%.0f cycles)\n", sm.Seconds(), sm.Cycles())
-		fmt.Printf("refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
-			total,
-			100*float64(st.L1Hits)/float64(total),
-			100*float64(st.L2Hits)/float64(total),
-			100*float64(st.Misses)/float64(total),
-			st.Barriers)
-		writeTraceJSON()
-	case "native":
-		start := time.Now()
-		labels = concomp.SV(g, *procs)
-		fmt.Printf("machine=native(goroutines,SV) p=%d wall=%.6f s\n", *procs, time.Since(start).Seconds())
-	case "as":
-		start := time.Now()
-		labels = concomp.AwerbuchShiloach(g, *procs)
-		fmt.Printf("machine=native(Awerbuch-Shiloach) p=%d wall=%.6f s\n", *procs, time.Since(start).Seconds())
-	case "randmate":
-		start := time.Now()
-		labels = concomp.RandomMate(g, *seed)
-		fmt.Printf("machine=random-mating wall=%.6f s\n", time.Since(start).Seconds())
-	case "hybrid":
-		start := time.Now()
-		labels = concomp.Hybrid(g, *seed)
-		fmt.Printf("machine=hybrid(random-mate+graft) wall=%.6f s\n", time.Since(start).Seconds())
-	case "seq":
-		start := time.Now()
-		labels = concomp.UnionFind(g)
-		fmt.Printf("machine=sequential(union-find) wall=%.6f s\n", time.Since(start).Seconds())
-	case "bfs":
-		start := time.Now()
-		labels = concomp.BFS(g)
-		fmt.Printf("machine=sequential(BFS) wall=%.6f s\n", time.Since(start).Seconds())
-	default:
-		log.Fatalf("unknown machine %q", *machine)
-	}
-
-	fmt.Printf("components: %d\n", graph.CountComponents(labels))
-	if *verify {
-		if !graph.SameComponents(labels, concomp.UnionFind(g)) {
-			log.Print("VERIFICATION FAILED: partition disagrees with union-find")
-			os.Exit(1)
-		}
-		fmt.Println("components verified ok")
 	}
 }

@@ -17,8 +17,8 @@ func TestSmokeSMP(t *testing.T) {
 }
 
 func TestRejectsBadFlags(t *testing.T) {
-	cmdtest.RunError(t, []string{"-workers", "-1"}, "-workers must be >= 0")
-	cmdtest.RunError(t, []string{"-p", "0"}, "-p")
+	cmdtest.RunError(t, []string{"-workers", "-1"}, "workers must be >= 0")
+	cmdtest.RunError(t, []string{"-p", "0"}, "procs must be positive")
 	cmdtest.RunError(t, []string{"-gen", "gnm", "-n", "0"})
 	cmdtest.RunError(t, []string{"-gen", "unknown-gen"})
 }

@@ -20,6 +20,14 @@
 //	figures -fig 1 -trace t.json # Chrome trace of every simulated run
 //	figures -fig 2 -attr a.csv   # per-region cycle attribution as CSV
 //
+// The whole invocation can instead be described declaratively
+// (internal/spec) and stamped with a reproducibility manifest
+// (internal/manifest); explicit flags override the spec's fields:
+//
+//	figures -spec specs/e1_fig1.toml
+//	figures -spec specs/e1_fig1.toml -emit-manifest fig1.manifest.json
+//	reproduce fig1.manifest.json
+//
 // Sweeps can be sharded across processes and their generated inputs
 // persisted in a content-addressed cache (see cmd/shardmerge and
 // scripts/shard_run.sh):
@@ -31,11 +39,8 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -43,13 +48,15 @@ import (
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
-	"pargraph/internal/trace"
+	"pargraph/internal/runner"
+	"pargraph/internal/spec"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
+		specPath = flag.String("spec", "", "load the experiment from this spec file (TOML); explicit flags override its fields")
 		fig      = flag.Int("fig", 0, "figure to regenerate (1 or 2)")
 		table    = flag.Int("table", 0, "table to regenerate (1)")
 		summary  = flag.Bool("summary", false, "print the §5 headline ratios")
@@ -65,36 +72,70 @@ func main() {
 		shardS   = flag.String("shard", "", "run only the experiment cells of shard i/N (e.g. 0/4) and emit a partial-result envelope for cmd/shardmerge; requires -json")
 		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
 		withTr   = flag.Bool("withtrace", false, "with -shard, carry this shard's trace events in the partial so shardmerge can render -trace/-attr")
+		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	shard, err := cmdutil.ParseShard(*shardS)
+	sp, err := runner.LoadSpec(*specPath, spec.CmdFigures)
 	if err != nil {
 		log.Fatal(err)
 	}
-	harness.Shard = shard
-	store, err := cmdutil.OpenCache(*cacheDir, harness.InputSchema)
-	if err != nil {
+	jsonSet, csvSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fig":
+			sp.Figures.Fig = *fig
+		case "table":
+			sp.Figures.Table = *table
+		case "summary":
+			sp.Figures.Summary = *summary
+		case "exp":
+			sp.Figures.Exp = *exp
+		case "all":
+			sp.Figures.All = *all
+		case "scale":
+			sp.Run.Scale = *scaleS
+		case "json":
+			jsonSet = *jsonFlag
+			if jsonSet {
+				sp.Figures.Format = "json"
+			}
+		case "csv":
+			csvSet = *csvFlag
+			if csvSet {
+				sp.Figures.Format = "csv"
+			}
+		case "workers":
+			sp.Run.Workers = *workers
+		case "jobs":
+			sp.Run.Jobs = *jobs
+		case "trace":
+			sp.Output.Trace = *traceOut
+		case "attr":
+			sp.Output.Attr = *attrOut
+		case "shard":
+			sp.Run.Shard = *shardS
+		case "cache-dir":
+			sp.Run.CacheDir = *cacheDir
+		case "emit-manifest":
+			sp.Output.Manifest = *manifest
+		}
+	})
+	if jsonSet && csvSet {
+		log.Fatal("choose one of -json and -csv")
+	}
+	if *withTr && sp.Run.Shard == "" {
+		log.Fatal("-withtrace only applies to -shard runs")
+	}
+	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	harness.CacheStore = store
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	harness.Interrupt = ctx
-
-	w, err := cmdutil.ResolveWorkers(*workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	harness.HostWorkers = w
-	j, err := cmdutil.ResolveJobs(*jobs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	harness.Jobs = j
 
 	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -107,274 +148,7 @@ func main() {
 		}
 	}()
 
-	var rec *trace.Recorder
-	if *traceOut != "" || *attrOut != "" {
-		rec = &trace.Recorder{}
-		harness.TraceSink = rec
-	}
-
-	scale, err := harness.ParseScale(*scaleS)
-	if err != nil {
+	if err := runner.Run(sp, runner.Options{WithTrace: *withTr}); err != nil {
 		log.Fatal(err)
-	}
-	out := os.Stdout
-
-	if !*all && *fig == 0 && *table == 0 && !*summary && *exp == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if (*fig != 0) && *fig != 1 && *fig != 2 {
-		log.Fatalf("no figure %d in the paper", *fig)
-	}
-	if *table != 0 && *table != 1 {
-		log.Fatalf("no table %d in the paper", *table)
-	}
-
-	if *jsonFlag && *csvFlag {
-		log.Fatal("choose one of -json and -csv")
-	}
-	if shard.Active() {
-		if !*jsonFlag {
-			log.Fatal("-shard emits a partial-result envelope; add -json")
-		}
-		if *traceOut != "" || *attrOut != "" {
-			log.Fatal("-trace/-attr are rendered by shardmerge from the merged partials; use -withtrace on the shards instead")
-		}
-		if *withTr {
-			harness.PartialTraces = &harness.PartialTraceLog{}
-		}
-	} else if *withTr {
-		log.Fatal("-withtrace only applies to -shard runs")
-	}
-	rep := &harness.Report{}
-	text := !*jsonFlag && !*csvFlag
-
-	runFig1 := func() *harness.Fig1Result {
-		if rep.Fig1 == nil {
-			res, err := harness.RunFig1(harness.DefaultFig1(scale))
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep.Fig1 = res
-		}
-		return rep.Fig1
-	}
-	runFig2 := func() *harness.Fig2Result {
-		if rep.Fig2 == nil {
-			res, err := harness.RunFig2(harness.DefaultFig2(scale))
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep.Fig2 = res
-		}
-		return rep.Fig2
-	}
-
-	if *all || *fig == 1 {
-		r := runFig1()
-		if text {
-			r.WriteText(out)
-		}
-		if *csvFlag {
-			if err := r.WriteCSV(out); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	if *all || *fig == 2 {
-		r := runFig2()
-		if text {
-			r.WriteText(out)
-		}
-		if *csvFlag {
-			if err := r.WriteCSV(out); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	if *all || *table == 1 {
-		rep.Table1 = harness.RunTable1(harness.DefaultTable1(scale))
-		if text {
-			rep.Table1.WriteText(out)
-		}
-		if *csvFlag {
-			if err := rep.Table1.WriteCSV(out); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	if *all || *summary {
-		if shard.Active() {
-			// The headline ratios derive from every fig1/fig2 cell, so a
-			// shard only runs its slice of those sweeps; shardmerge
-			// computes the summary from the merged figures.
-			runFig1()
-			runFig2()
-		} else {
-			sum, err := harness.Summarize(runFig1(), runFig2())
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep.Summary = sum
-			if text {
-				sum.WriteText(out)
-			}
-		}
-	}
-
-	exps := map[string]func() interface{}{
-		"saturation": func() interface{} {
-			rep.Saturation = harness.RunSaturation([]int{1, 2, 4, 8}, []int{100, 1000, 10000}, 7)
-			return rep.Saturation
-		},
-		"streams": func() interface{} {
-			rep.Streams = harness.RunStreams(sizeFor(scale, 1<<16, 1<<19, 1<<21), 1,
-				[]int{1, 2, 4, 8, 16, 40, 80, 128}, 7)
-			return rep.Streams
-		},
-		"sched": func() interface{} {
-			return addAbl(rep, harness.RunAblScheduling(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, 7))
-		},
-		"hashing": func() interface{} {
-			return addAbl(rep, harness.RunAblHashing(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8))
-		},
-		"sublists": func() interface{} {
-			return addAbl(rep, harness.RunAblSublists(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4, 8, 16, 64}, 7))
-		},
-		"shortcut": func() interface{} {
-			return addAbl(rep, harness.RunAblShortcut(sizeFor(scale, 1<<11, 1<<14, 1<<17), 8, 4, 7))
-		},
-		"cache": func() interface{} {
-			return addAbl(rep, harness.RunAblCache(sizeFor(scale, 1<<17, 1<<19, 1<<21), 1, []int{1, 2, 4, 8, 16}, 7))
-		},
-		"assoc": func() interface{} {
-			return addAbl(rep, harness.RunAblAssociativity(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4}, 7))
-		},
-		"reduction": func() interface{} {
-			return addAbl(rep, harness.RunAblReduction(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8))
-		},
-		"treeeval": func() interface{} {
-			sz := sizeFor(scale, 1<<13, 1<<16, 1<<18)
-			res, err := harness.RunTreeEval([]int{sz / 4, sz / 2, sz}, 8, 7)
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep.TreeEval = res
-			return res
-		},
-		"coloring": func() interface{} {
-			res, err := harness.RunColoring(harness.DefaultColoring(scale))
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep.Coloring = res
-			return res
-		},
-		"colorsched": func() interface{} {
-			return addAbl(rep, harness.RunAblColoringSched(sizeFor(scale, 10, 13, 16), 8, 8, 7))
-		},
-	}
-	writeExp := func(res interface{}) {
-		if !text {
-			return
-		}
-		switch v := res.(type) {
-		case *harness.SaturationResult:
-			v.WriteText(out)
-		case *harness.StreamsResult:
-			v.WriteText(out)
-		case *harness.TreeEvalResult:
-			v.WriteText(out)
-		case *harness.ColoringResult:
-			v.WriteText(out)
-		case *harness.AblationResult:
-			v.WriteText(out)
-		}
-	}
-	if *all {
-		for _, name := range []string{"saturation", "streams", "sched", "hashing", "sublists", "shortcut", "cache", "assoc", "reduction", "treeeval", "coloring", "colorsched"} {
-			writeExp(exps[name]())
-		}
-	} else if *exp != "" {
-		run, ok := exps[*exp]
-		if !ok {
-			log.Fatalf("unknown experiment %q", *exp)
-		}
-		writeExp(run())
-	}
-
-	if rec != nil {
-		if *traceOut != "" {
-			if err := writeFile(*traceOut, rec.WriteChromeTrace); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("wrote Chrome trace to %s", *traceOut)
-		}
-		if *attrOut != "" {
-			if err := writeFile(*attrOut, rec.WriteAttributionCSV); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("wrote attribution CSV to %s", *attrOut)
-		}
-	}
-
-	if *jsonFlag {
-		if shard.Active() {
-			p := &harness.Partial{
-				Schema:  harness.PartialSchema,
-				Shard:   shard,
-				Summary: *all || *summary,
-				Report:  rep,
-			}
-			if harness.PartialTraces != nil {
-				p.Trace = harness.PartialTraces.Take()
-			}
-			if err := p.WriteJSON(out); err != nil {
-				log.Fatal(err)
-			}
-			return
-		}
-		if err := rep.WriteJSON(out); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-	if *csvFlag {
-		return
-	}
-	fmt.Fprintln(out, "done.")
-}
-
-// writeFile renders into path through a buffered writer.
-func writeFile(path string, render func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	if err := render(bw); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func addAbl(rep *harness.Report, a *harness.AblationResult) *harness.AblationResult {
-	rep.Ablations = append(rep.Ablations, a)
-	return a
-}
-
-func sizeFor(s harness.Scale, small, medium, paper int) int {
-	switch s {
-	case harness.Small:
-		return small
-	case harness.Medium:
-		return medium
-	default:
-		return paper
 	}
 }

@@ -17,5 +17,5 @@ func TestSmokeColoring(t *testing.T) {
 }
 
 func TestRejectsNegativeWorkers(t *testing.T) {
-	cmdtest.RunError(t, []string{"-fig", "2", "-workers", "-1"}, "-workers must be >= 0")
+	cmdtest.RunError(t, []string{"-fig", "2", "-workers", "-1"}, "workers must be >= 0")
 }

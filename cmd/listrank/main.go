@@ -7,28 +7,24 @@
 //	listrank -n 1048576 -layout ordered -machine smp -p 4
 //	listrank -n 1048576 -machine native -p 8     # real goroutines, wall clock
 //	listrank -n 1048576 -machine seq             # sequential baseline
+//	listrank -spec specs/listrank.toml -emit-manifest lr.manifest.json
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"os"
-	"time"
 
 	"pargraph/internal/cmdutil"
-	"pargraph/internal/list"
 	"pargraph/internal/listrank"
-	"pargraph/internal/mta"
-	"pargraph/internal/sim"
-	"pargraph/internal/smp"
-	"pargraph/internal/trace"
+	"pargraph/internal/runner"
+	"pargraph/internal/spec"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("listrank: ")
 	var (
+		specPath = flag.String("spec", "", "load the experiment from this spec file (TOML); explicit flags override its fields")
 		n        = flag.Int("n", 1<<20, "list length")
 		layout   = flag.String("layout", "random", "list layout: ordered, clustered, or random")
 		machine  = flag.String("machine", "mta", "machine: mta, smp, native, or seq")
@@ -42,131 +38,57 @@ func main() {
 		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
+		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
-	w, err := cmdutil.ResolveWorkers(*workers)
+
+	sp, err := runner.LoadSpec(*specPath, spec.CmdListrank)
 	if err != nil {
 		log.Fatal(err)
 	}
-	*workers = w
-	if _, err := cmdutil.ResolveJobs(*jobs); err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "n":
+			sp.Workload.N = *n
+		case "layout":
+			sp.Workload.Layout = *layout
+		case "machine":
+			sp.Workload.Machine = *machine
+		case "p":
+			sp.Workload.Procs = *procs
+		case "nodes-per-walk":
+			// The spec clamps these to their defaults; an explicit flag
+			// value stays strict so a typo'd 0 fails instead of silently
+			// running the default.
+			if err := cmdutil.CheckPositive("-nodes-per-walk", *walks); err != nil {
+				log.Fatal(err)
+			}
+			sp.Workload.NodesPerWalk = *walks
+		case "sublists-per-proc":
+			if err := cmdutil.CheckPositive("-sublists-per-proc", *subl); err != nil {
+				log.Fatal(err)
+			}
+			sp.Workload.Sublists = *subl
+		case "sched":
+			sp.Workload.Sched = *sched
+		case "seed":
+			sp.Run.Seed = *seed
+		case "verify":
+			sp.Workload.Verify = *verify
+		case "trace-json":
+			sp.Output.Trace = *traceOut
+		case "workers":
+			sp.Run.Workers = *workers
+		case "jobs":
+			sp.Run.Jobs = *jobs
+		case "emit-manifest":
+			sp.Output.Manifest = *manifest
+		}
+	})
+	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := cmdutil.CheckPositive("-n", *n); err != nil {
+	if err := runner.Run(sp, runner.Options{RegionTrace: *traceFl}); err != nil {
 		log.Fatal(err)
-	}
-	if err := cmdutil.CheckPositive("-p", *procs); err != nil {
-		log.Fatal(err)
-	}
-	if err := cmdutil.CheckPositive("-nodes-per-walk", *walks); err != nil {
-		log.Fatal(err)
-	}
-	if err := cmdutil.CheckPositive("-sublists-per-proc", *subl); err != nil {
-		log.Fatal(err)
-	}
-	var rec *trace.Recorder
-	if *traceOut != "" {
-		rec = &trace.Recorder{}
-	}
-	writeTraceJSON := func() {
-		if rec == nil {
-			return
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := rec.WriteChromeTrace(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var lay list.Layout
-	switch *layout {
-	case "ordered":
-		lay = list.Ordered
-	case "random":
-		lay = list.Random
-	case "clustered":
-		lay = list.Clustered
-	default:
-		log.Fatalf("unknown layout %q", *layout)
-	}
-	l := list.New(*n, lay, *seed)
-
-	var rank []int64
-	switch *machine {
-	case "mta":
-		s := sim.SchedDynamic
-		if *sched == "block" {
-			s = sim.SchedBlock
-		} else if *sched != "dynamic" {
-			log.Fatalf("unknown schedule %q", *sched)
-		}
-		m := mta.New(mta.DefaultConfig(*procs))
-		m.SetHostWorkers(*workers)
-		if *traceFl {
-			m.EnableTrace()
-		}
-		if rec != nil {
-			m.SetSink(rec)
-		}
-		rank = listrank.RankMTA(l, m, *n / *walks, s)
-		st := m.Stats()
-		fmt.Printf("machine=MTA p=%d n=%d layout=%s\n", *procs, *n, lay)
-		fmt.Printf("simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
-		fmt.Printf("utilization: %.1f%%  refs=%d instrs=%d regions=%d barriers=%d\n",
-			m.Utilization()*100, st.Refs, st.Instrs, st.Regions, st.Barriers)
-		if *traceFl {
-			m.WriteTrace(os.Stdout)
-		}
-		writeTraceJSON()
-	case "smp":
-		m := smp.New(smp.DefaultConfig(*procs))
-		m.SetHostWorkers(*workers)
-		if *traceFl {
-			m.EnableTrace()
-		}
-		if rec != nil {
-			m.SetSink(rec)
-		}
-		rank = listrank.RankSMP(l, m, *subl**procs, *seed^0xfeed)
-		st := m.Stats()
-		total := st.L1Hits + st.L2Hits + st.Misses
-		fmt.Printf("machine=SMP p=%d n=%d layout=%s\n", *procs, *n, lay)
-		fmt.Printf("simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
-		fmt.Printf("refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
-			total,
-			100*float64(st.L1Hits)/float64(total),
-			100*float64(st.L2Hits)/float64(total),
-			100*float64(st.Misses)/float64(total),
-			st.Barriers)
-		if *traceFl {
-			m.WriteTrace(os.Stdout)
-		}
-		writeTraceJSON()
-	case "native":
-		start := time.Now()
-		rank = listrank.HelmanJaja(l, *procs)
-		fmt.Printf("machine=native(goroutines) p=%d n=%d layout=%s\n", *procs, *n, lay)
-		fmt.Printf("wall clock: %.6f s\n", time.Since(start).Seconds())
-	case "seq":
-		start := time.Now()
-		rank = listrank.Sequential(l)
-		fmt.Printf("machine=sequential n=%d layout=%s\n", *n, lay)
-		fmt.Printf("wall clock: %.6f s\n", time.Since(start).Seconds())
-	default:
-		log.Fatalf("unknown machine %q", *machine)
-	}
-
-	if *verify {
-		if err := l.VerifyRanks(rank); err != nil {
-			log.Printf("VERIFICATION FAILED: %v", err)
-			os.Exit(1)
-		}
-		fmt.Println("ranks verified ok")
 	}
 }

@@ -17,8 +17,8 @@ func TestSmokeSMP(t *testing.T) {
 }
 
 func TestRejectsBadFlags(t *testing.T) {
-	cmdtest.RunError(t, []string{"-workers", "-1"}, "-workers must be >= 0")
-	cmdtest.RunError(t, []string{"-n", "0"}, "-n")
-	cmdtest.RunError(t, []string{"-p", "-2"}, "-p")
+	cmdtest.RunError(t, []string{"-workers", "-1"}, "workers must be >= 0")
+	cmdtest.RunError(t, []string{"-n", "0"}, "n must be positive")
+	cmdtest.RunError(t, []string{"-p", "-2"}, "procs must be positive")
 	cmdtest.RunError(t, []string{"-nodes-per-walk", "0"}, "-nodes-per-walk")
 }

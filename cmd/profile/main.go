@@ -11,6 +11,7 @@
 //	profile -kernel prefix -layout ordered -timeline 20000
 //	profile -kernel treecon -n 4096 -sample 500
 //	profile -kernel coloring -machine both -attr table
+//	profile -spec specs/e2_profile.toml -emit-manifest prof.manifest.json
 //
 // All output is bit-identical for any -workers value: events are
 // emitted at region commit, after the deterministic replay merge.
@@ -25,10 +26,8 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -36,13 +35,15 @@ import (
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/harness"
-	"pargraph/internal/list"
+	"pargraph/internal/runner"
+	"pargraph/internal/spec"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("profile: ")
 	var (
+		specPath = flag.String("spec", "", "load the experiment from this spec file (TOML); explicit flags override its fields")
 		kernel   = flag.String("kernel", "fig1", "kernel to profile: fig1 (list ranking), fig2 (connected components), prefix, treecon, coloring")
 		machine  = flag.String("machine", "both", "machine(s) to run: mta, smp, or both")
 		n        = flag.Int("n", 1<<16, "problem size (list nodes / graph vertices / tree leaves)")
@@ -57,45 +58,57 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently (with -machine both the two machines are separate cells; 0 = NumCPU); output is identical for any value")
 		shardS   = flag.String("shard", "", "run only the cells of shard i/N (e.g. 0/2) and emit a partial-result envelope on stdout for cmd/shardmerge")
 		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	shard, err := cmdutil.ParseShard(*shardS)
+	sp, err := runner.LoadSpec(*specPath, spec.CmdProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	harness.Shard = shard
-	store, err := cmdutil.OpenCache(*cacheDir, harness.InputSchema)
-	if err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "kernel":
+			sp.Profile.Kernel = *kernel
+		case "machine":
+			sp.Profile.Machine = *machine
+		case "n":
+			sp.Profile.N = *n
+		case "procs":
+			sp.Profile.Procs = *procs
+		case "layout":
+			sp.Profile.Layout = *layoutS
+		case "seed":
+			sp.Run.Seed = *seed
+		case "sample":
+			sp.Profile.Sample = *sample
+		case "trace":
+			sp.Output.Trace = *traceOut
+		case "attr":
+			sp.Profile.Attr = *attr
+		case "timeline":
+			sp.Profile.Timeline = *timeline
+		case "workers":
+			sp.Run.Workers = *workers
+		case "jobs":
+			sp.Run.Jobs = *jobs
+		case "shard":
+			sp.Run.Shard = *shardS
+		case "cache-dir":
+			sp.Run.CacheDir = *cacheDir
+		case "emit-manifest":
+			sp.Output.Manifest = *manifest
+		}
+	})
+	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	harness.CacheStore = store
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	harness.Interrupt = ctx
-
-	if shard.Active() {
-		if *traceOut != "" {
-			log.Fatal("-trace is rendered by shardmerge from the merged partials")
-		}
-		// The partial carries the shard's event streams; shardmerge
-		// reassembles the whole-run recorder and renders the attribution.
-		harness.PartialTraces = &harness.PartialTraceLog{}
-	}
-
-	w, err := cmdutil.ResolveWorkers(*workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	harness.HostWorkers = w
-	j, err := cmdutil.ResolveJobs(*jobs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	harness.Jobs = j
 
 	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -108,84 +121,7 @@ func main() {
 		}
 	}()
 
-	var layout list.Layout
-	switch *layoutS {
-	case "ordered":
-		layout = list.Ordered
-	case "random":
-		layout = list.Random
-	default:
-		log.Fatalf("unknown layout %q (want ordered or random)", *layoutS)
-	}
-
-	params := harness.ProfileParams{
-		Kernel: *kernel, Machine: *machine,
-		N: *n, Procs: *procs, Layout: layout,
-		Seed: *seed, SampleCycles: *sample,
-	}
-	res, err := harness.RunProfile(params)
-	if err != nil {
+	if err := runner.Run(sp, runner.Options{}); err != nil {
 		log.Fatal(err)
-	}
-
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-
-	if shard.Active() {
-		p := &harness.Partial{
-			Schema:  harness.PartialSchema,
-			Shard:   shard,
-			Profile: &harness.ProfilePartial{Params: res.Params, Runs: res.Runs},
-			Trace:   harness.PartialTraces.Take(),
-		}
-		if err := p.WriteJSON(out); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-
-	for _, run := range res.Runs {
-		fmt.Fprintf(out, "%s %s n=%d p=%d: %.0f cycles (%.6f s), %d trace events\n",
-			run.Machine, params.Kernel, params.N, params.Procs, run.Cycles, run.Seconds, run.Events)
-	}
-	fmt.Fprintln(out)
-
-	switch *attr {
-	case "table":
-		res.Recorder.WriteAttribution(out)
-	case "csv":
-		if err := res.Recorder.WriteAttributionCSV(out); err != nil {
-			log.Fatal(err)
-		}
-	case "json":
-		if err := res.Recorder.WriteAttributionJSON(out); err != nil {
-			log.Fatal(err)
-		}
-	case "none":
-	default:
-		log.Fatalf("unknown attribution format %q (want table, csv, json, or none)", *attr)
-	}
-
-	if *timeline > 0 {
-		res.Recorder.WriteTimeline(out, *timeline)
-	}
-
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		bw := bufio.NewWriter(f)
-		if err := res.Recorder.WriteChromeTrace(bw); err != nil {
-			log.Fatal(err)
-		}
-		if err := bw.Flush(); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		// Status goes to stderr so stdout stays byte-comparable across runs.
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in about://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 }

@@ -20,7 +20,7 @@ func TestSmokeColoringKernel(t *testing.T) {
 }
 
 func TestRejectsNegativeWorkers(t *testing.T) {
-	cmdtest.RunError(t, []string{"-kernel", "fig1", "-workers", "-1"}, "-workers must be >= 0")
+	cmdtest.RunError(t, []string{"-kernel", "fig1", "-workers", "-1"}, "workers must be >= 0")
 }
 
 func TestSmokeChromeTrace(t *testing.T) {

@@ -17,6 +17,14 @@
 //
 //	shardmerge part0.json part1.json
 //	shardmerge -attrfmt csv -timeline 20000 -trace t.json part*.json
+//
+// When the shards ran with -emit-manifest, their partials embed
+// per-shard reproducibility manifests; -manifest merges them (failing
+// loudly if the shards disagree on the spec or any input's content),
+// renders the artifacts the embedded spec names, and writes a merged
+// manifest byte-identical to an unsharded run's:
+//
+//	shardmerge -manifest merged.manifest.json part*.json
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"os"
 
 	"pargraph/internal/harness"
+	"pargraph/internal/runner"
 )
 
 func main() {
@@ -40,6 +49,7 @@ func main() {
 		attrOut  = flag.String("attr", "", "write the merged per-region attribution as CSV to this file")
 		attrFmt  = flag.String("attrfmt", "table", "profile partials: attribution format on stdout (table, csv, json, or none)")
 		timeline = flag.Float64("timeline", 0, "profile partials: print a utilization timeline with this bucket width in cycles (0 = off)")
+		maniOut  = flag.String("manifest", "", "merge the shards' embedded manifests, render the embedded spec's artifacts, and write the merged manifest to this file (shards must have run with -emit-manifest)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -59,6 +69,17 @@ func main() {
 		}
 		parts = append(parts, p)
 	}
+
+	if *maniOut != "" {
+		if *jsonOut != "" || *csvOut != "" || *traceOut != "" || *attrOut != "" || *attrFmt != "table" || *timeline != 0 {
+			log.Fatal("-manifest renders the artifacts the embedded spec names; it cannot be combined with -json/-csv/-trace/-attr/-attrfmt/-timeline")
+		}
+		if err := runner.MergeWithManifest(parts, *maniOut, runner.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	m, err := harness.MergePartials(parts)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,45 @@
+package cmdutil
+
+import "runtime/debug"
+
+// Commit is the short commit hash (plus "-dirty" when the tree had
+// uncommitted changes) stamped into release builds via
+//
+//	go build -ldflags "-X pargraph/internal/cmdutil.Commit=$(scripts/version.sh)"
+//
+// The Makefile and the bench scripts stamp it so binaries, benchmark
+// metas, and reproducibility manifests all report the same provenance
+// without shelling out to git at run time. Unstamped builds fall back
+// to the module build info, then to "unknown".
+var Commit = ""
+
+// Version reports the build's commit identity: the ldflags-stamped
+// Commit when present, otherwise the VCS revision recorded in the Go
+// build info (available for plain `go build` inside a git checkout),
+// otherwise "unknown". Test binaries are typically unstamped and carry
+// no VCS info, so tests see a stable "unknown".
+func Version() string {
+	if Commit != "" {
+		return Commit
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	return "unknown"
+}

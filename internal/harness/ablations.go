@@ -12,6 +12,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 )
 
 // AblationRow is one configuration → seconds measurement.
@@ -67,7 +68,7 @@ func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 	res.Rows = make([]AblationRow, len(grains)*len(scheds))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		g, sched := grains[idx/len(scheds)], scheds[idx%len(scheds)]
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
 			func() *list.List { return list.New(n, list.Random, seed) })
 		m := c.MTA(cfg)
 		listrank.RankMTA(l, m, g.nwalk, sched.s)
@@ -131,7 +132,7 @@ func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		f := factors[idx]
 		s := f * procs
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
 			func() *list.List { return list.New(n, list.Random, seed) })
 		m := c.SMP(smp.DefaultConfig(procs))
 		listrank.RankSMP(l, m, s, seed^uint64(s))
@@ -168,9 +169,9 @@ func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 	res.Rows = make([]AblationRow, len(variants))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		v := variants[idx]
-		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, edgeFactor*n, seed)
+		gKey := sweep.GnmKey(n, edgeFactor*n, seed)
 		g := cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, edgeFactor*n, seed) })
-		want := cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
+		want := cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
 		m := c.MTA(mta.DefaultConfig(procs))
 		got := v.label(g, m, sim.SchedDynamic)
 		if !graph.SameComponents(want, got) {
@@ -199,7 +200,7 @@ func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
 		mb := l2MB[idx]
 		var secs [2]float64
 		for li, layout := range []list.Layout{list.Ordered, list.Random} {
-			l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, layout, seed),
+			l := cached(c, sweep.ListKey(n, layout.String(), seed),
 				func() *list.List { return list.New(n, layout, seed) })
 			cfg := smp.DefaultConfig(procs)
 			cfg.L2Bytes = mb << 20
@@ -228,7 +229,7 @@ func RunAblAssociativity(n, procs int, assocs []int, seed uint64) *AblationResul
 	res.Rows = make([]AblationRow, len(assocs))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		a := assocs[idx]
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
 			func() *list.List { return list.New(n, list.Random, seed) })
 		cfg := smp.DefaultConfig(procs)
 		cfg.L1Assoc = a

@@ -11,6 +11,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 )
 
 // ColoringParams configures the third-workload experiment: speculative
@@ -102,17 +103,17 @@ func coloringInputs(params ColoringParams) []coloringInput {
 	return []coloringInput{
 		{
 			name:  fmt.Sprintf("rmat(s=%d,m=%dn)", params.RMATScale, params.RMATEdges),
-			key:   fmt.Sprintf("rmat/%d/%d/%d", params.RMATScale, params.RMATEdges*rn, params.Seed),
+			key:   sweep.RMATKey(params.RMATScale, params.RMATEdges*rn, params.Seed),
 			build: func() *graph.Graph { return graph.RMAT(params.RMATScale, params.RMATEdges*rn, params.Seed) },
 		},
 		{
 			name:  fmt.Sprintf("mesh(%dx%d)", params.MeshDim, params.MeshDim),
-			key:   fmt.Sprintf("mesh2d/%d/%d", params.MeshDim, params.MeshDim),
+			key:   sweep.Mesh2DKey(params.MeshDim, params.MeshDim),
 			build: func() *graph.Graph { return graph.Mesh2D(params.MeshDim, params.MeshDim) },
 		},
 		{
 			name:  fmt.Sprintf("torus(%dx%d)", params.TorusDim, params.TorusDim),
-			key:   fmt.Sprintf("torus2d/%d/%d", params.TorusDim, params.TorusDim),
+			key:   sweep.Torus2DKey(params.TorusDim, params.TorusDim),
 			build: func() *graph.Graph { return graph.Torus2D(params.TorusDim, params.TorusDim) },
 		},
 	}
@@ -144,7 +145,7 @@ func RunColoring(params ColoringParams) (*ColoringResult, error) {
 		in := inputs[idx/stride]
 		gi, name := idx/stride, in.name
 		g := cached(c, in.key, in.build)
-		ref := cached(c, in.key+"/specref", func() specRef {
+		ref := cached(c, sweep.SpecRefKey(in.key), func() specRef {
 			color, st := coloring.Speculative(g)
 			return specRef{Color: color, Stats: st}
 		})
@@ -290,9 +291,9 @@ func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationRes
 	res.Rows = make([]AblationRow, len(scheds))
 	err := ablSweep(len(scheds), func(idx int, c *Cell) error {
 		sched := scheds[idx]
-		gKey := fmt.Sprintf("rmat/%d/%d/%d", scale, edgeFactor*n, seed)
+		gKey := sweep.RMATKey(scale, edgeFactor*n, seed)
 		g := cached(c, gKey, func() *graph.Graph { return graph.RMAT(scale, edgeFactor*n, seed) })
-		want := cached(c, gKey+"/specref", func() []int32 {
+		want := cached(c, sweep.SpecRefKey(gKey), func() []int32 {
 			color, _ := coloring.Speculative(g)
 			return color
 		})

@@ -10,6 +10,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 	"pargraph/internal/treecon"
 )
 
@@ -143,7 +144,7 @@ func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
 		p := procs[idx/nK]
 		n := perProc[idx%nK] * p
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed+uint64(n)),
+		l := cached(c, sweep.ListKey(n, list.Random.String(), seed+uint64(n)),
 			func() *list.List { return list.New(n, list.Random, seed+uint64(n)) })
 		m := c.MTA(mta.DefaultConfig(p))
 		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
@@ -188,7 +189,7 @@ type StreamsRow struct {
 func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
 	rows := make([]StreamsRow, len(streams))
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, list.Random, seed),
+		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
 			func() *list.List { return list.New(n, list.Random, seed) })
 		cfg := mta.DefaultConfig(procs)
 		cfg.UseStreams = streams[idx]
@@ -245,7 +246,7 @@ func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) 
 	rows := make([]TreeEvalRow, len(leaves))
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
 		nl := leaves[idx]
-		ref := cached(c, fmt.Sprintf("expr/%d/%d", nl, seed+uint64(nl)), func() exprRef {
+		ref := cached(c, sweep.ExprKey(nl, seed+uint64(nl)), func() exprRef {
 			e := treecon.RandomExpr(nl, seed+uint64(nl))
 			return exprRef{E: e, Want: treecon.EvalSequential(e)}
 		})

@@ -9,6 +9,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 )
 
 // Fig1Params configures the list-ranking experiment of Fig. 1: running
@@ -64,7 +65,7 @@ func RunFig1(params Fig1Params) (*Fig1Result, error) {
 		layout := params.Layouts[idx/(nP*nS)]
 		procs := params.Procs[idx/nS%nP]
 		n := params.Sizes[idx%nS]
-		l := cached(c, fmt.Sprintf("list/%d/%s/%d", n, layout, params.Seed+uint64(n)),
+		l := cached(c, sweep.ListKey(n, layout.String(), params.Seed+uint64(n)),
 			func() *list.List { return list.New(n, layout, params.Seed+uint64(n)) })
 
 		mm := c.MTA(mta.DefaultConfig(procs))

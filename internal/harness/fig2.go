@@ -9,6 +9,7 @@ import (
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 )
 
 // Fig2Params configures the connected-components experiment of Fig. 2:
@@ -61,13 +62,13 @@ func RunFig2(params Fig2Params) (*Fig2Result, error) {
 		procs := params.Procs[idx/nF]
 		f := params.EdgeFactors[idx%nF]
 		m := f * params.N
-		gKey := fmt.Sprintf("gnm/%d/%d/%d", params.N, m, params.Seed+uint64(f))
+		gKey := sweep.GnmKey(params.N, m, params.Seed+uint64(f))
 		g := cached(c, gKey, func() *graph.Graph {
 			return graph.RandomGnm(params.N, m, params.Seed+uint64(f))
 		})
 		var want []int32
 		if params.Verify {
-			want = cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
+			want = cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
 		}
 
 		mm := c.MTA(mta.DefaultConfig(procs))

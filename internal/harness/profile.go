@@ -12,6 +12,7 @@ import (
 	"pargraph/internal/rng"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
 	"pargraph/internal/trace"
 	"pargraph/internal/treecon"
 )
@@ -96,7 +97,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 	switch params.Kernel {
 	case "fig1":
 		getList := func(c *Cell) *list.List {
-			return cached(c, fmt.Sprintf("list/%d/%s/%d", n, params.Layout, params.Seed),
+			return cached(c, sweep.ListKey(n, params.Layout.String(), params.Seed),
 				func() *list.List { return list.New(n, params.Layout, params.Seed) })
 		}
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
@@ -111,12 +112,12 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}
 
 	case "fig2":
-		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, 8*n, params.Seed)
+		gKey := sweep.GnmKey(n, 8*n, params.Seed)
 		getGraph := func(c *Cell) *graph.Graph {
 			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
 		}
 		check := func(c *Cell, g *graph.Graph, got []int32) error {
-			want := cached(c, gKey+"/unionfind", func() []int32 { return concomp.UnionFind(g) })
+			want := cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
 			if !graph.SameComponents(want, got) {
 				return fmt.Errorf("wrong components")
 			}
@@ -140,7 +141,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			Want []int64
 		}
 		getIn := func(c *Cell) prefixIn {
-			return cached(c, fmt.Sprintf("prefix/%d/%s/%d", n, params.Layout, params.Seed), func() prefixIn {
+			return cached(c, sweep.PrefixKey(n, params.Layout.String(), params.Seed), func() prefixIn {
 				l := list.New(n, params.Layout, params.Seed)
 				vals := make([]int64, n)
 				r := rng.New(params.Seed ^ 0xabcd)
@@ -173,7 +174,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			Want int64
 		}
 		getIn := func(c *Cell) exprIn {
-			return cached(c, fmt.Sprintf("expr/%d/%d", n, params.Seed), func() exprIn {
+			return cached(c, sweep.ExprKey(n, params.Seed), func() exprIn {
 				e := treecon.RandomExpr(n, params.Seed)
 				return exprIn{E: e, Want: treecon.EvalSequential(e)}
 			})
@@ -194,12 +195,12 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}
 
 	case "coloring":
-		gKey := fmt.Sprintf("gnm/%d/%d/%d", n, 8*n, params.Seed)
+		gKey := sweep.GnmKey(n, 8*n, params.Seed)
 		getGraph := func(c *Cell) *graph.Graph {
 			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
 		}
 		check := func(c *Cell, g *graph.Graph, got []int32) error {
-			want := cached(c, gKey+"/specref", func() []int32 {
+			want := cached(c, sweep.SpecRefKey(gKey), func() []int32 {
 				color, _ := coloring.Speculative(g)
 				return color
 			})

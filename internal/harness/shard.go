@@ -122,6 +122,13 @@ type Partial struct {
 	Report  *Report         `json:"report,omitempty"`
 	Profile *ProfilePartial `json:"profile,omitempty"`
 	Trace   []CellTrace     `json:"trace,omitempty"`
+	// Manifest, when the shard ran under -emit-manifest, is the shard's
+	// reproducibility manifest (internal/manifest JSON, inputs only —
+	// artifacts are rendered at merge time). It travels inside the
+	// envelope, which is itself never a hashed artifact, so there is no
+	// self-reference; cmd/shardmerge merges the shard manifests and
+	// fails loudly when they disagree on the spec or any input.
+	Manifest json.RawMessage `json:"manifest,omitempty"`
 }
 
 // WriteJSON emits the partial as indented JSON.

@@ -27,6 +27,13 @@ var Jobs = 1
 // mid-artifact.
 var Interrupt context.Context
 
+// InputHook, when non-nil, observes every input a sweep's cache
+// resolves (see sweep.Cache.Hook): once per key, with the serialized
+// content. The spec-driven runner wires a manifest input log here so a
+// run records the exact bytes of everything it consumed. Set it once
+// before running experiments, alongside Shard and CacheStore.
+var InputHook func(key string, data []byte)
+
 // sweepEnv is the state one Run* sweep shares across its cells: the
 // single-flight input cache and the pools of reusable simulator
 // machines. It is created per sweep so inputs and machines die with the
@@ -181,6 +188,7 @@ func ablSweep(n int, cell func(i int, c *Cell) error) error {
 func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.Recorder, error) {
 	env := newSweepEnv()
 	env.inputs.Disk = CacheStore
+	env.inputs.Hook = InputHook
 	record := opts.record || TraceSink != nil || PartialTraces != nil
 	var recs []*trace.Recorder
 	if record {

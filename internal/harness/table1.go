@@ -11,6 +11,7 @@ import (
 	"pargraph/internal/listrank"
 	"pargraph/internal/mta"
 	"pargraph/internal/sim"
+	"pargraph/internal/sweep"
 )
 
 // Table1Params configures the MTA processor-utilization table. The paper
@@ -75,11 +76,11 @@ func RunTable1(params Table1Params) *Table1Result {
 		m := c.MTA(mta.DefaultConfig(procs))
 		if row := idx / nP; row < 2 {
 			layout := layouts[row]
-			l := cached(c, fmt.Sprintf("list/%d/%s/%d", params.ListN, layout, params.Seed),
+			l := cached(c, sweep.ListKey(params.ListN, layout.String(), params.Seed),
 				func() *list.List { return list.New(params.ListN, layout, params.Seed) })
 			listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
 		} else {
-			g := cached(c, fmt.Sprintf("gnm/%d/%d/%d", params.GraphN, params.GraphM, params.Seed+1),
+			g := cached(c, sweep.GnmKey(params.GraphN, params.GraphM, params.Seed+1),
 				func() *graph.Graph { return graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1) })
 			concomp.LabelMTA(g, m, sim.SchedDynamic)
 		}

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"pargraph/internal/harness"
+	"pargraph/internal/manifest"
+	"pargraph/internal/spec"
+)
+
+// MergeWithManifest is cmd/shardmerge's -manifest path: merge the
+// shards' embedded manifests (failing loudly on spec-hash or
+// input-content disagreement), merge the partials, render the
+// artifacts named by the embedded spec exactly as the unsharded run
+// would have, and write the merged manifest to manifestPath. Because
+// the canonical spec excludes sharding, the merged manifest is
+// byte-identical to the one an unsharded run of the same spec emits.
+func MergeWithManifest(parts []*harness.Partial, manifestPath string, o Options) error {
+	if o.Stdout == nil {
+		o.Stdout = os.Stdout
+	}
+	if o.Stderr == nil {
+		o.Stderr = os.Stderr
+	}
+
+	shards := make([]*manifest.Manifest, len(parts))
+	for i, p := range parts {
+		if len(p.Manifest) == 0 {
+			return fmt.Errorf("shard %d carries no manifest; rerun the shards with -emit-manifest", i)
+		}
+		m, err := manifest.Decode(p.Manifest)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards[i] = m
+	}
+	mm, err := manifest.Merge(shards)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse([]byte(mm.Spec))
+	if err != nil {
+		return fmt.Errorf("embedded spec: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return fmt.Errorf("embedded spec: %w", err)
+	}
+
+	merged, err := harness.MergePartials(parts)
+	if err != nil {
+		return err
+	}
+
+	rc := &runCtx{sp: sp, o: &o, mlog: &manifest.Log{}}
+	switch {
+	case merged.Report != nil:
+		var buf bytes.Buffer
+		if err := merged.Report.WriteJSON(&buf); err != nil {
+			return err
+		}
+		if sp.Output.Report != "" {
+			if err := writeFile(sp.Output.Report, buf.Bytes()); err != nil {
+				return err
+			}
+		} else if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		rc.record("report", sp.Output.Report, buf.Bytes())
+	case merged.Profile != nil:
+		buf, err := profileStdout(merged.Profile, sp.Profile.Attr, sp.Profile.Timeline)
+		if err != nil {
+			return err
+		}
+		if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		rc.record("stdout", "", buf.Bytes())
+	default:
+		return fmt.Errorf("partials carry neither a report nor a profile")
+	}
+
+	mm.Artifacts = rc.arts
+	if err := mm.WriteFile(manifestPath); err != nil {
+		return fmt.Errorf("writing merged manifest: %w", err)
+	}
+	fmt.Fprintf(o.Stderr, "wrote merged manifest to %s\n", manifestPath)
+	return nil
+}

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+
+	"pargraph/internal/harness"
+	"pargraph/internal/list"
+)
+
+// runProfile is cmd/profile's execution body: one kernel under
+// cycle-attribution tracing, with the attribution (and optionally a
+// utilization timeline) on stdout and a Chrome trace as a file
+// artifact. Sharded runs (-machine both split across processes) emit a
+// partial envelope carrying the event streams instead.
+func (rc *runCtx) runProfile() error {
+	sp, o := rc.sp, rc.o
+	p := &sp.Profile
+
+	layout := list.Random
+	if p.Layout == "ordered" {
+		layout = list.Ordered
+	}
+	params := harness.ProfileParams{
+		Kernel: p.Kernel, Machine: p.Machine,
+		N: p.N, Procs: p.Procs, Layout: layout,
+		Seed: sp.Run.Seed, SampleCycles: p.Sample,
+	}
+	res, err := harness.RunProfile(params)
+	if err != nil {
+		return err
+	}
+
+	if harness.Shard.Active() {
+		part := &harness.Partial{
+			Schema:  harness.PartialSchema,
+			Shard:   harness.Shard,
+			Profile: &harness.ProfilePartial{Params: res.Params, Runs: res.Runs},
+			Trace:   harness.PartialTraces.Take(),
+		}
+		if part.Manifest, err = rc.shardManifestJSON(); err != nil {
+			return err
+		}
+		return part.WriteJSON(o.Stdout)
+	}
+
+	buf, err := profileStdout(res, p.Attr, p.Timeline)
+	if err != nil {
+		return err
+	}
+	if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	rc.record("stdout", "", buf.Bytes())
+
+	if sp.Output.Trace != "" {
+		var tb bytes.Buffer
+		if err := res.Recorder.WriteChromeTrace(&tb); err != nil {
+			return err
+		}
+		if err := writeFile(sp.Output.Trace, tb.Bytes()); err != nil {
+			return err
+		}
+		rc.record("trace", sp.Output.Trace, tb.Bytes())
+		// Status goes to stderr so stdout stays byte-comparable across runs.
+		fmt.Fprintf(o.Stderr, "wrote Chrome trace to %s (open in about://tracing or ui.perfetto.dev)\n", sp.Output.Trace)
+	}
+	return nil
+}
+
+// profileStdout renders a complete profile result the way cmd/profile
+// prints it: run headers, the attribution in the requested format, and
+// an optional utilization timeline. Shared by the unsharded run path
+// and the post-merge rendering, so both produce identical bytes.
+func profileStdout(res *harness.ProfileResult, attr string, timeline float64) (*bytes.Buffer, error) {
+	var buf bytes.Buffer
+	for _, run := range res.Runs {
+		fmt.Fprintf(&buf, "%s %s n=%d p=%d: %.0f cycles (%.6f s), %d trace events\n",
+			run.Machine, res.Params.Kernel, res.Params.N, res.Params.Procs, run.Cycles, run.Seconds, run.Events)
+	}
+	fmt.Fprintln(&buf)
+
+	switch attr {
+	case "table":
+		res.Recorder.WriteAttribution(&buf)
+	case "csv":
+		if err := res.Recorder.WriteAttributionCSV(&buf); err != nil {
+			return nil, err
+		}
+	case "json":
+		if err := res.Recorder.WriteAttributionJSON(&buf); err != nil {
+			return nil, err
+		}
+	case "none":
+	}
+
+	if timeline > 0 {
+		res.Recorder.WriteTimeline(&buf, timeline)
+	}
+	return &buf, nil
+}

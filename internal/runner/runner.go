@@ -1,0 +1,209 @@
+// Package runner executes a validated experiment spec
+// (internal/spec). It is the single execution path behind cmd/figures,
+// cmd/profile, cmd/coloring, cmd/listrank, and cmd/concomp: the cmds
+// translate flags into a spec and call Run, so a spec-driven run and a
+// flag-driven run of the same experiment go through byte-identical
+// rendering code — artifact equality between the two is structural,
+// not tested-for.
+//
+// When the spec names a manifest ([output] manifest, the cmds'
+// -emit-manifest), the runner records every input the run resolves
+// (through the sweep cache's hook) and every artifact it writes, and
+// emits a reproducibility manifest (internal/manifest). Sharded runs
+// embed their manifest in the partial envelope for cmd/shardmerge to
+// merge instead of writing a file.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pargraph/internal/cmdutil"
+	"pargraph/internal/harness"
+	"pargraph/internal/manifest"
+	"pargraph/internal/spec"
+)
+
+// Options carries the execution extras that live outside the spec:
+// where output goes, and the flag-only toggles individual cmds keep.
+type Options struct {
+	Stdout io.Writer // defaults to os.Stdout
+	Stderr io.Writer // defaults to os.Stderr
+
+	// WithTrace makes a sharded figures run carry its cells' traces in
+	// the partial envelope (cmd/figures -withtrace), so cmd/shardmerge
+	// can render -trace/-attr for the whole run.
+	WithTrace bool
+
+	// RegionTrace prints the per-region execution trace on stdout for
+	// listrank's simulated machines (cmd/listrank -trace). It changes
+	// the stdout bytes, so it cannot be combined with a manifest.
+	RegionTrace bool
+
+	// DumpGraph writes the built graph to a DIMACS file before running
+	// (cmd/concomp -out).
+	DumpGraph string
+}
+
+// LoadSpec is the cmds' -spec entry point: the command's default spec
+// when path is empty, else the parsed spec file, rejecting a spec
+// written for a different command. Flag overrides layer on top and the
+// caller validates the result.
+func LoadSpec(path, command string) (*spec.Spec, error) {
+	if path == "" {
+		return spec.Default(command), nil
+	}
+	sp, err := spec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Run.Command != command {
+		return nil, fmt.Errorf("%s is a %q spec; run it with cmd/%s", path, sp.Run.Command, sp.Run.Command)
+	}
+	return sp, nil
+}
+
+// Run executes a validated spec. The caller must have called
+// sp.Validate; Run trusts the spec's invariants.
+func Run(sp *spec.Spec, o Options) error {
+	if o.Stdout == nil {
+		o.Stdout = os.Stdout
+	}
+	if o.Stderr == nil {
+		o.Stderr = os.Stderr
+	}
+	if o.RegionTrace && sp.Output.Manifest != "" {
+		return fmt.Errorf("-trace changes the stdout bytes per run; it cannot be combined with -emit-manifest")
+	}
+
+	// The harness globals are process-wide; save and restore them so
+	// Run composes with tests (and any future embedding) that call it
+	// repeatedly in one process.
+	savedShard := harness.Shard
+	savedCache := harness.CacheStore
+	savedWorkers := harness.HostWorkers
+	savedJobs := harness.Jobs
+	savedHook := harness.InputHook
+	savedPartials := harness.PartialTraces
+	savedSink := harness.TraceSink
+	defer func() {
+		harness.Shard = savedShard
+		harness.CacheStore = savedCache
+		harness.HostWorkers = savedWorkers
+		harness.Jobs = savedJobs
+		harness.InputHook = savedHook
+		harness.PartialTraces = savedPartials
+		harness.TraceSink = savedSink
+	}()
+
+	shard, err := cmdutil.ParseShard(sp.Run.Shard)
+	if err != nil {
+		return err
+	}
+	harness.Shard = shard
+	harness.HostWorkers = sp.Run.Workers
+	jobs, err := cmdutil.ResolveJobs(sp.Run.Jobs)
+	if err != nil {
+		return err
+	}
+	harness.Jobs = jobs
+
+	if sp.Run.Command == spec.CmdFigures || sp.Run.Command == spec.CmdProfile {
+		store, err := cmdutil.OpenCache(sp.Run.CacheDir, harness.InputSchema)
+		if err != nil {
+			return err
+		}
+		harness.CacheStore = store
+	}
+
+	rc := &runCtx{sp: sp, o: &o}
+	if sp.Output.Manifest != "" {
+		rc.mlog = &manifest.Log{}
+		harness.InputHook = rc.mlog.Add
+	}
+	if shard.Active() && (sp.Run.Command == spec.CmdProfile || o.WithTrace) {
+		harness.PartialTraces = &harness.PartialTraceLog{}
+	}
+
+	switch sp.Run.Command {
+	case spec.CmdFigures:
+		err = rc.runFigures()
+	case spec.CmdProfile:
+		err = rc.runProfile()
+	case spec.CmdColoring:
+		err = rc.runColoring()
+	case spec.CmdListrank:
+		err = rc.runListrank()
+	default:
+		err = rc.runConcomp()
+	}
+	if err != nil {
+		return err
+	}
+
+	if rc.mlog != nil && !shard.Active() {
+		m, err := rc.buildManifest()
+		if err != nil {
+			return err
+		}
+		if err := m.WriteFile(sp.Output.Manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Fprintf(o.Stderr, "wrote manifest to %s\n", sp.Output.Manifest)
+	}
+	return nil
+}
+
+// runCtx is one run's mutable state: the spec, the output options, the
+// manifest input log (nil when no manifest was requested), and the
+// artifacts recorded so far.
+type runCtx struct {
+	sp   *spec.Spec
+	o    *Options
+	mlog *manifest.Log
+	arts []manifest.Artifact
+}
+
+// record notes a produced artifact (already-rendered bytes) for the
+// manifest. Call order defines the manifest's artifact order; each
+// sub-runner records in its fixed role order.
+func (rc *runCtx) record(name, path string, data []byte) {
+	if rc.mlog == nil {
+		return
+	}
+	rc.arts = append(rc.arts, manifest.Artifact{
+		Name: name, Path: path, SHA256: manifest.HashBytes(data), Bytes: int64(len(data)),
+	})
+}
+
+// buildManifest assembles the run's manifest from the input log and
+// the recorded artifacts.
+func (rc *runCtx) buildManifest() (*manifest.Manifest, error) {
+	m := manifest.New(rc.sp.Canonical(), rc.sp.Hash(), harness.InputSchema)
+	ins, err := rc.mlog.Inputs()
+	if err != nil {
+		return nil, err
+	}
+	m.Inputs = ins
+	m.Artifacts = rc.arts
+	return m, nil
+}
+
+// shardManifestJSON renders the shard's manifest for embedding in the
+// partial envelope; nil when no manifest was requested.
+func (rc *runCtx) shardManifestJSON() ([]byte, error) {
+	if rc.mlog == nil {
+		return nil, nil
+	}
+	m, err := rc.buildManifest()
+	if err != nil {
+		return nil, err
+	}
+	return m.Encode()
+}
+
+// writeFile writes rendered artifact bytes to path.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

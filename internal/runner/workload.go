@@ -1,0 +1,483 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pargraph/internal/coloring"
+	"pargraph/internal/concomp"
+	"pargraph/internal/gio"
+	"pargraph/internal/graph"
+	"pargraph/internal/list"
+	"pargraph/internal/listrank"
+	"pargraph/internal/mta"
+	"pargraph/internal/sim"
+	"pargraph/internal/smp"
+	"pargraph/internal/spec"
+	"pargraph/internal/sweep"
+	"pargraph/internal/trace"
+)
+
+// The single-run commands (coloring, listrank, concomp) resolve their
+// inputs through a private sweep.Cache so the manifest hook observes
+// them exactly like the harness sweeps' inputs, under the same typed
+// keys — spec-driven and harness-driven runs of one workload record
+// the same input identity.
+
+// workloadCache returns the run's input cache, hooked to the manifest
+// log when one is active.
+func (rc *runCtx) workloadCache() *sweep.Cache {
+	c := &sweep.Cache{}
+	if rc.mlog != nil {
+		c.Hook = rc.mlog.Add
+	}
+	return c
+}
+
+// buildGraph resolves the workload's graph — from the DIMACS input
+// file when set, else from the named generator — through the cache,
+// returning the graph's content key for deriving reference keys.
+func buildGraph(c *sweep.Cache, w *spec.Workload, seed uint64) (string, *graph.Graph, error) {
+	if w.Input != "" {
+		key := sweep.DIMACSKey(w.Input)
+		g, err := sweep.GetAs(c, key, func() (*graph.Graph, error) {
+			f, err := os.Open(w.Input)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return gio.ReadDIMACS(f)
+		})
+		return key, g, err
+	}
+	var key string
+	var build func() (*graph.Graph, error)
+	switch w.Gen {
+	case "gnm":
+		key = sweep.GnmKey(w.N, w.M, seed)
+		build = func() (*graph.Graph, error) { return graph.RandomGnm(w.N, w.M, seed), nil }
+	case "rmat":
+		scale := 0
+		for 1<<scale < w.N {
+			scale++
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		key = sweep.RMATKey(scale, w.M, seed)
+		build = func() (*graph.Graph, error) { return graph.RMAT(scale, w.M, seed), nil }
+	case "mesh2d":
+		key = sweep.Mesh2DKey(w.Rows, w.Cols)
+		build = func() (*graph.Graph, error) { return graph.Mesh2D(w.Rows, w.Cols), nil }
+	case "mesh3d":
+		key = sweep.Mesh3DKey(w.Rows, w.Cols, w.Depth)
+		build = func() (*graph.Graph, error) { return graph.Mesh3D(w.Rows, w.Cols, w.Depth), nil }
+	default: // torus; the spec validator already rejected unknown names
+		key = sweep.Torus2DKey(w.Rows, w.Cols)
+		build = func() (*graph.Graph, error) { return graph.Torus2D(w.Rows, w.Cols), nil }
+	}
+	g, err := sweep.GetAs(c, key, build)
+	return key, g, err
+}
+
+// traceArtifacts renders and writes the trace / attribution artifacts
+// a workload run requested, recording them in the manifest.
+func (rc *runCtx) traceArtifacts(rec *trace.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	sp, o := rc.sp, rc.o
+	if sp.Output.Trace != "" {
+		var tb bytes.Buffer
+		if err := rec.WriteChromeTrace(&tb); err != nil {
+			return err
+		}
+		if err := writeFile(sp.Output.Trace, tb.Bytes()); err != nil {
+			return err
+		}
+		rc.record("trace", sp.Output.Trace, tb.Bytes())
+		fmt.Fprintf(o.Stderr, "wrote Chrome trace to %s\n", sp.Output.Trace)
+	}
+	if sp.Output.Attr != "" {
+		var ab bytes.Buffer
+		if err := rec.WriteAttributionCSV(&ab); err != nil {
+			return err
+		}
+		if err := writeFile(sp.Output.Attr, ab.Bytes()); err != nil {
+			return err
+		}
+		rc.record("attr", sp.Output.Attr, ab.Bytes())
+		fmt.Fprintf(o.Stderr, "wrote attribution CSV to %s\n", sp.Output.Attr)
+	}
+	return nil
+}
+
+// runColoring is cmd/coloring's execution body.
+func (rc *runCtx) runColoring() error {
+	sp, o := rc.sp, rc.o
+	w := &sp.Workload
+	cache := rc.workloadCache()
+
+	sched := sim.SchedDynamic
+	if w.Sched == "block" {
+		sched = sim.SchedBlock
+	}
+	gKey, g, err := buildGraph(cache, w, sp.Run.Seed)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "graph: %s n=%d m=%d maxdeg=%d\n", w.Gen, g.N, g.M(), g.MaxDegree())
+
+	var rec *trace.Recorder
+	if sp.Output.Trace != "" || sp.Output.Attr != "" {
+		rec = &trace.Recorder{}
+	}
+	printStats := func(st coloring.Stats) {
+		parts := make([]string, len(st.Conflicts))
+		for i, c := range st.Conflicts {
+			parts[i] = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(&buf, "colors: %d  rounds: %d  conflicts/round: %s (total %d)\n",
+			st.Colors, st.Rounds, strings.Join(parts, ","), st.TotalConflicts())
+	}
+	reference := func() ([]int32, error) {
+		return sweep.GetAs(cache, sweep.SpecRefKey(gKey), func() ([]int32, error) {
+			ref, _ := coloring.Speculative(g)
+			return ref, nil
+		})
+	}
+	checkRef := func(color []int32) error {
+		want, err := reference()
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if want[i] != color[i] {
+				return fmt.Errorf("VERIFICATION FAILED: color[%d] = %d, host reference says %d", i, color[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	var color []int32
+	switch w.Machine {
+	case "mta":
+		mm := mta.New(mta.DefaultConfig(w.Procs))
+		mm.SetHostWorkers(sp.Run.Workers)
+		if rec != nil {
+			mm.SetSink(rec)
+		}
+		var st coloring.Stats
+		color, st = coloring.ColorMTA(g, mm, sched)
+		mst := mm.Stats()
+		fmt.Fprintf(&buf, "machine=MTA p=%d\n", w.Procs)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
+		fmt.Fprintf(&buf, "utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
+			mm.Utilization()*100, mst.Refs, mst.Regions, mst.Barriers)
+		printStats(st)
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+		if w.Verify {
+			if err := checkRef(color); err != nil {
+				return err
+			}
+		}
+	case "smp":
+		sm := smp.New(smp.DefaultConfig(w.Procs))
+		sm.SetHostWorkers(sp.Run.Workers)
+		if rec != nil {
+			sm.SetSink(rec)
+		}
+		var st coloring.Stats
+		color, st = coloring.ColorSMP(g, sm)
+		sst := sm.Stats()
+		total := sst.L1Hits + sst.L2Hits + sst.Misses
+		fmt.Fprintf(&buf, "machine=SMP p=%d\n", w.Procs)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles)\n", sm.Seconds(), sm.Cycles())
+		fmt.Fprintf(&buf, "refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
+			total,
+			100*float64(sst.L1Hits)/float64(total),
+			100*float64(sst.L2Hits)/float64(total),
+			100*float64(sst.Misses)/float64(total),
+			sst.Barriers)
+		printStats(st)
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+		if w.Verify {
+			if err := checkRef(color); err != nil {
+				return err
+			}
+		}
+	case "spec":
+		var st coloring.Stats
+		color, st = coloring.Speculative(g)
+		fmt.Fprintln(&buf, "machine=host(speculative rounds)")
+		printStats(st)
+	default: // seq
+		color = coloring.Sequential(g)
+		max := int32(-1)
+		for _, c := range color {
+			if c > max {
+				max = c
+			}
+		}
+		fmt.Fprintf(&buf, "machine=sequential(first-fit)\ncolors: %d\n", max+1)
+	}
+
+	if w.Verify {
+		if err := coloring.Validate(g, color); err != nil {
+			return fmt.Errorf("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Fprintln(&buf, "coloring verified ok")
+	}
+
+	if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	rc.record("stdout", "", buf.Bytes())
+	return nil
+}
+
+// runListrank is cmd/listrank's execution body. The stdout artifact is
+// recorded only for the simulated machines — native and seq print wall
+// clock, which no manifest can promise to reproduce.
+func (rc *runCtx) runListrank() error {
+	sp, o := rc.sp, rc.o
+	w := &sp.Workload
+	cache := rc.workloadCache()
+
+	lay := list.Random
+	switch w.Layout {
+	case "ordered":
+		lay = list.Ordered
+	case "clustered":
+		lay = list.Clustered
+	}
+	l, err := sweep.GetAs(cache, sweep.ListKey(w.N, lay.String(), sp.Run.Seed),
+		func() (*list.List, error) { return list.New(w.N, lay, sp.Run.Seed), nil })
+	if err != nil {
+		return err
+	}
+
+	var rec *trace.Recorder
+	if sp.Output.Trace != "" {
+		rec = &trace.Recorder{}
+	}
+
+	var buf bytes.Buffer
+	deterministic := false
+	var rank []int64
+	switch w.Machine {
+	case "mta":
+		deterministic = true
+		s := sim.SchedDynamic
+		if w.Sched == "block" {
+			s = sim.SchedBlock
+		}
+		m := mta.New(mta.DefaultConfig(w.Procs))
+		m.SetHostWorkers(sp.Run.Workers)
+		if o.RegionTrace {
+			m.EnableTrace()
+		}
+		if rec != nil {
+			m.SetSink(rec)
+		}
+		rank = listrank.RankMTA(l, m, w.N/w.NodesPerWalk, s)
+		st := m.Stats()
+		fmt.Fprintf(&buf, "machine=MTA p=%d n=%d layout=%s\n", w.Procs, w.N, lay)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
+		fmt.Fprintf(&buf, "utilization: %.1f%%  refs=%d instrs=%d regions=%d barriers=%d\n",
+			m.Utilization()*100, st.Refs, st.Instrs, st.Regions, st.Barriers)
+		if o.RegionTrace {
+			m.WriteTrace(&buf)
+		}
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+	case "smp":
+		deterministic = true
+		m := smp.New(smp.DefaultConfig(w.Procs))
+		m.SetHostWorkers(sp.Run.Workers)
+		if o.RegionTrace {
+			m.EnableTrace()
+		}
+		if rec != nil {
+			m.SetSink(rec)
+		}
+		rank = listrank.RankSMP(l, m, w.Sublists*w.Procs, sp.Run.Seed^0xfeed)
+		st := m.Stats()
+		total := st.L1Hits + st.L2Hits + st.Misses
+		fmt.Fprintf(&buf, "machine=SMP p=%d n=%d layout=%s\n", w.Procs, w.N, lay)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles at %.0f MHz)\n", m.Seconds(), m.Cycles(), m.Config().ClockMHz)
+		fmt.Fprintf(&buf, "refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
+			total,
+			100*float64(st.L1Hits)/float64(total),
+			100*float64(st.L2Hits)/float64(total),
+			100*float64(st.Misses)/float64(total),
+			st.Barriers)
+		if o.RegionTrace {
+			m.WriteTrace(&buf)
+		}
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+	case "native":
+		start := time.Now()
+		rank = listrank.HelmanJaja(l, w.Procs)
+		fmt.Fprintf(&buf, "machine=native(goroutines) p=%d n=%d layout=%s\n", w.Procs, w.N, lay)
+		fmt.Fprintf(&buf, "wall clock: %.6f s\n", time.Since(start).Seconds())
+	default: // seq
+		start := time.Now()
+		rank = listrank.Sequential(l)
+		fmt.Fprintf(&buf, "machine=sequential n=%d layout=%s\n", w.N, lay)
+		fmt.Fprintf(&buf, "wall clock: %.6f s\n", time.Since(start).Seconds())
+	}
+
+	if w.Verify {
+		if err := l.VerifyRanks(rank); err != nil {
+			return fmt.Errorf("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Fprintln(&buf, "ranks verified ok")
+	}
+
+	if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if deterministic {
+		rc.record("stdout", "", buf.Bytes())
+	}
+	return nil
+}
+
+// runConcomp is cmd/concomp's execution body. As with listrank, only
+// the simulated machines' stdout is recorded in the manifest.
+func (rc *runCtx) runConcomp() error {
+	sp, o := rc.sp, rc.o
+	w := &sp.Workload
+	cache := rc.workloadCache()
+
+	gKey, g, err := buildGraph(cache, w, sp.Run.Seed)
+	if err != nil {
+		return err
+	}
+	if o.DumpGraph != "" {
+		f, err := os.Create(o.DumpGraph)
+		if err != nil {
+			return err
+		}
+		if err := gio.WriteDIMACS(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	var rec *trace.Recorder
+	if sp.Output.Trace != "" {
+		rec = &trace.Recorder{}
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "graph: %s n=%d m=%d\n", w.Gen, g.N, g.M())
+
+	deterministic := false
+	var labels []int32
+	switch w.Machine {
+	case "mta", "mta-star":
+		deterministic = true
+		mm := mta.New(mta.DefaultConfig(w.Procs))
+		mm.SetHostWorkers(sp.Run.Workers)
+		if rec != nil {
+			mm.SetSink(rec)
+		}
+		if w.Machine == "mta" {
+			labels = concomp.LabelMTA(g, mm, sim.SchedDynamic)
+		} else {
+			labels = concomp.LabelMTAStarCheck(g, mm, sim.SchedDynamic)
+		}
+		st := mm.Stats()
+		fmt.Fprintf(&buf, "machine=%s p=%d\n", w.Machine, w.Procs)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles)\n", mm.Seconds(), mm.Cycles())
+		fmt.Fprintf(&buf, "utilization: %.1f%%  refs=%d regions=%d barriers=%d\n",
+			mm.Utilization()*100, st.Refs, st.Regions, st.Barriers)
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+	case "smp":
+		deterministic = true
+		sm := smp.New(smp.DefaultConfig(w.Procs))
+		sm.SetHostWorkers(sp.Run.Workers)
+		if rec != nil {
+			sm.SetSink(rec)
+		}
+		labels = concomp.LabelSMP(g, sm)
+		st := sm.Stats()
+		total := st.L1Hits + st.L2Hits + st.Misses
+		fmt.Fprintf(&buf, "machine=SMP p=%d\n", w.Procs)
+		fmt.Fprintf(&buf, "simulated: %.6f s (%.0f cycles)\n", sm.Seconds(), sm.Cycles())
+		fmt.Fprintf(&buf, "refs=%d  L1 %.1f%%  L2 %.1f%%  mem %.1f%%  barriers=%d\n",
+			total,
+			100*float64(st.L1Hits)/float64(total),
+			100*float64(st.L2Hits)/float64(total),
+			100*float64(st.Misses)/float64(total),
+			st.Barriers)
+		if err := rc.traceArtifacts(rec); err != nil {
+			return err
+		}
+	case "native":
+		start := time.Now()
+		labels = concomp.SV(g, w.Procs)
+		fmt.Fprintf(&buf, "machine=native(goroutines,SV) p=%d wall=%.6f s\n", w.Procs, time.Since(start).Seconds())
+	case "as":
+		start := time.Now()
+		labels = concomp.AwerbuchShiloach(g, w.Procs)
+		fmt.Fprintf(&buf, "machine=native(Awerbuch-Shiloach) p=%d wall=%.6f s\n", w.Procs, time.Since(start).Seconds())
+	case "randmate":
+		start := time.Now()
+		labels = concomp.RandomMate(g, sp.Run.Seed)
+		fmt.Fprintf(&buf, "machine=random-mating wall=%.6f s\n", time.Since(start).Seconds())
+	case "hybrid":
+		start := time.Now()
+		labels = concomp.Hybrid(g, sp.Run.Seed)
+		fmt.Fprintf(&buf, "machine=hybrid(random-mate+graft) wall=%.6f s\n", time.Since(start).Seconds())
+	case "seq":
+		start := time.Now()
+		labels = concomp.UnionFind(g)
+		fmt.Fprintf(&buf, "machine=sequential(union-find) wall=%.6f s\n", time.Since(start).Seconds())
+	default: // bfs
+		start := time.Now()
+		labels = concomp.BFS(g)
+		fmt.Fprintf(&buf, "machine=sequential(BFS) wall=%.6f s\n", time.Since(start).Seconds())
+	}
+
+	fmt.Fprintf(&buf, "components: %d\n", graph.CountComponents(labels))
+	if w.Verify {
+		want, err := sweep.GetAs(cache, sweep.UnionFindKey(gKey), func() ([]int32, error) {
+			return concomp.UnionFind(g), nil
+		})
+		if err != nil {
+			return err
+		}
+		if !graph.SameComponents(labels, want) {
+			return fmt.Errorf("VERIFICATION FAILED: partition disagrees with union-find")
+		}
+		fmt.Fprintln(&buf, "components verified ok")
+	}
+
+	if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if deterministic {
+		rc.record("stdout", "", buf.Bytes())
+	}
+	return nil
+}

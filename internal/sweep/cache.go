@@ -34,6 +34,16 @@ type Cache struct {
 	// runs share one generation of each input. Set it before the first
 	// Get; nil keeps the cache memory-only.
 	Disk *diskcache.Store
+
+	// Hook, when non-nil, observes every input GetAs resolves — once
+	// per key, with the value's serialized bytes (the same encoding the
+	// disk tier stores), whether the value came from a build or a disk
+	// hit. Reproducibility manifests hang off this: the hook hashes the
+	// bytes, so a run records the exact content of every input it
+	// consumed. Set it before the first Get, like Disk. With a hook
+	// attached, a value that cannot be serialized is an error rather
+	// than a silent gap in the record.
+	Hook func(key string, data []byte)
 }
 
 type cacheEntry struct {
@@ -99,20 +109,33 @@ func (c *Cache) Len() int {
 // loses that race on multi-megabyte slices by an order of magnitude.
 func GetAs[T any](c *Cache, key string, build func() (T, error)) (T, error) {
 	v, err := c.Get(key, func() (any, error) {
-		disk := c.Disk
-		if disk == nil {
+		disk, hook := c.Disk, c.Hook
+		if disk == nil && hook == nil {
 			return build()
 		}
-		if data, ok := disk.Get(key); ok {
-			if v, ok := decodeValue[T](data); ok {
-				return v, nil
+		if disk != nil {
+			if data, ok := disk.Get(key); ok {
+				if v, ok := decodeValue[T](data); ok {
+					if hook != nil {
+						hook(key, data)
+					}
+					return v, nil
+				}
 			}
 		}
 		v, err := build()
-		if err == nil {
-			if data, ok := encodeValue(v); ok {
+		if err != nil {
+			return v, err
+		}
+		if data, ok := encodeValue(v); ok {
+			if disk != nil {
 				disk.Put(key, data)
 			}
+			if hook != nil {
+				hook(key, data)
+			}
+		} else if hook != nil {
+			return v, fmt.Errorf("sweep: input %q is not serializable, so the run's input record would be incomplete", key)
 		}
 		return v, err
 	})

@@ -1,0 +1,73 @@
+package sweep
+
+import "fmt"
+
+// Content-key constructors for the inputs experiment sweeps share
+// through a Cache. Every parameter a generator depends on — including
+// the seed — appears in its key, because persistent caches live across
+// runs and processes and an ambiguous key would silently alias two
+// different generations (see internal/diskcache).
+//
+// These helpers are the ONLY place key strings are built: the harness
+// sweeps, the spec-driven runner, and any future subsystem all construct
+// keys here, so a spec-derived key can never drift from the key the
+// harness would have used for the same input. TestKeyProducers pins the
+// exact strings and a source scan in the harness tests enforces that no
+// call site builds one inline.
+
+// ListKey addresses a linked list: list.New(n, layout, seed). The
+// layout is its String() form ("Ordered", "Random", "Clustered").
+func ListKey(n int, layout string, seed uint64) string {
+	return fmt.Sprintf("list/%d/%s/%d", n, layout, seed)
+}
+
+// GnmKey addresses a uniform random graph: graph.RandomGnm(n, m, seed).
+func GnmKey(n, m int, seed uint64) string {
+	return fmt.Sprintf("gnm/%d/%d/%d", n, m, seed)
+}
+
+// RMATKey addresses a skewed RMAT graph: graph.RMAT(scale, m, seed).
+func RMATKey(scale, m int, seed uint64) string {
+	return fmt.Sprintf("rmat/%d/%d/%d", scale, m, seed)
+}
+
+// Mesh2DKey addresses a 2D grid: graph.Mesh2D(rows, cols). Meshes are
+// deterministic, so no seed appears.
+func Mesh2DKey(rows, cols int) string {
+	return fmt.Sprintf("mesh2d/%d/%d", rows, cols)
+}
+
+// Mesh3DKey addresses a 3D grid: graph.Mesh3D(rows, cols, depth).
+func Mesh3DKey(rows, cols, depth int) string {
+	return fmt.Sprintf("mesh3d/%d/%d/%d", rows, cols, depth)
+}
+
+// Torus2DKey addresses a 2D torus: graph.Torus2D(rows, cols).
+func Torus2DKey(rows, cols int) string {
+	return fmt.Sprintf("torus2d/%d/%d", rows, cols)
+}
+
+// ExprKey addresses a random expression tree plus its sequential value:
+// treecon.RandomExpr(leaves, seed).
+func ExprKey(leaves int, seed uint64) string {
+	return fmt.Sprintf("expr/%d/%d", leaves, seed)
+}
+
+// PrefixKey addresses the prefix-kernel input bundle (list plus
+// sequential reference) built from list.New(n, layout, seed).
+func PrefixKey(n int, layout string, seed uint64) string {
+	return fmt.Sprintf("prefix/%d/%s/%d", n, layout, seed)
+}
+
+// DIMACSKey addresses a graph loaded from a DIMACS file rather than
+// generated. The key names the path; the content hash recorded beside
+// it in a manifest is what pins the actual bytes.
+func DIMACSKey(path string) string { return "dimacs/" + path }
+
+// UnionFindKey addresses the union-find component reference derived
+// from the graph stored under graphKey.
+func UnionFindKey(graphKey string) string { return graphKey + "/unionfind" }
+
+// SpecRefKey addresses the host speculative-coloring reference derived
+// from the graph stored under graphKey.
+func SpecRefKey(graphKey string) string { return graphKey + "/specref" }

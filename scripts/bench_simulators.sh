@@ -15,7 +15,10 @@ out=${1:-BENCH_simulators.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# One git consultation per invocation, shared with the test binary via
+# ldflags: the meta block and cmdutil.Version inside the benchmarked
+# process report the same stamped value.
+commit=$(sh "$(dirname "$0")/version.sh")
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 gover=$(go version | awk '{print $3}')
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
@@ -25,6 +28,7 @@ cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 gomaxprocs=${GOMAXPROCS:-$cores}
 
 go test -run '^$' -bench 'BenchmarkHostScaling|BenchmarkSimulatorMTA$|BenchmarkSimulatorSMP$|BenchmarkSimulatorColoringMTA$|BenchmarkSimulatorColoringSMP$' \
+    -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" \
     -benchtime 2x -count 2 . | tee "$raw"
 
 awk -v commit="$commit" -v stamp="$stamp" -v gover="$gover" -v cores="$cores" -v gomaxprocs="$gomaxprocs" '

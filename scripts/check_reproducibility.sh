@@ -1,0 +1,64 @@
+#!/bin/sh
+# CI gate for the spec/manifest layer: for every checked-in spec under
+# specs/, the spec-driven run's report must be byte-identical to the
+# equivalent flag-driven run's stdout, cmd/reproduce must accept the
+# emitted manifest (which re-runs the spec and re-hashes every input
+# and artifact), and after one byte of the report is corrupted
+# cmd/reproduce must exit nonzero.
+#
+# Usage: scripts/check_reproducibility.sh
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# One git consultation for the whole check; both binaries carry the same
+# stamp, so manifest Commit fields agree between runs.
+commit=$(sh "$root/scripts/version.sh")
+bin="$work/bin"
+mkdir -p "$bin"
+(cd "$root" && go build -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" -o "$bin" ./cmd/figures ./cmd/reproduce)
+
+fail=0
+
+# check <name> <flag args...>: spec-driven vs flag-driven byte identity,
+# then the reproduce round trip on the spec run's manifest.
+check() {
+    name=$1
+    shift
+    dir="$work/$name"
+    mkdir -p "$dir"
+    (cd "$dir" && "$bin/figures" -spec "$root/specs/$name.toml" 2>/dev/null)
+    "$bin/figures" "$@" >"$dir/flags.out" 2>/dev/null
+    if ! cmp -s "$dir/$name.json" "$dir/flags.out"; then
+        echo "FAIL: $name: spec-driven report differs from flag-driven run ($*)"
+        fail=1
+        return
+    fi
+    if ! "$bin/reproduce" "$dir/$name.manifest.json" >/dev/null; then
+        echo "FAIL: $name: reproduce rejected a pristine manifest"
+        fail=1
+        return
+    fi
+    # Corrupt the first byte of the report ('{' becomes '#') and demand
+    # a nonzero exit.
+    printf '#' | dd of="$dir/$name.json" bs=1 count=1 conv=notrunc 2>/dev/null
+    if "$bin/reproduce" "$dir/$name.manifest.json" >/dev/null 2>&1; then
+        echo "FAIL: $name: reproduce exited 0 on a corrupted artifact"
+        fail=1
+        return
+    fi
+    echo "ok: $name"
+}
+
+check e1_fig1      -fig 1 -json
+check e2_fig2      -fig 2 -json
+check e3_table1    -table 1 -json
+check e4_summary   -summary -json
+check e5_saturation -exp saturation -json
+check e6_streams   -exp streams -json
+check e7_treeeval  -exp treeeval -json
+check e8_coloring  -exp coloring -json
+
+exit $fail
