@@ -6,7 +6,7 @@ GO ?= go
 COMMIT := $(shell sh scripts/version.sh)
 LDFLAGS = -X pargraph/internal/cmdutil.Commit=$(COMMIT)
 
-.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence check-reproducibility verify
+.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence check-reproducibility check-result-cache cache-clean verify
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -55,5 +55,23 @@ check-shard-equivalence:
 # pass a clean manifest / catch a corrupted artifact.
 check-reproducibility:
 	sh scripts/check_reproducibility.sh
+
+# Fail if a warm re-run against the result cache is not byte-identical
+# to the cold run for fig1/fig2/table1/coloring, re-simulates any cell,
+# or fails to make the fig1 sweep at least 5x faster.
+check-result-cache:
+	sh scripts/check_result_cache.sh
+
+# Empty the persistent input/result cache the experiment commands use
+# when -cache-dir or $PARGRAPH_CACHE points at one. Entries are
+# content-addressed, so clearing is always safe — the next run rebuilds
+# what it needs.
+cache-clean:
+	@if [ -n "$$PARGRAPH_CACHE" ]; then \
+		rm -rf "$$PARGRAPH_CACHE"; \
+		echo "removed $$PARGRAPH_CACHE"; \
+	else \
+		echo "PARGRAPH_CACHE not set; pass the directory you gave -cache-dir, e.g. rm -rf /tmp/pgc"; \
+	fi
 
 verify: vet build test

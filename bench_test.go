@@ -13,6 +13,7 @@ import (
 
 	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
+	"pargraph/internal/diskcache"
 	"pargraph/internal/euler"
 	"pargraph/internal/graph"
 	"pargraph/internal/harness"
@@ -328,6 +329,47 @@ func BenchmarkSweepScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWarmSweep measures the E1 Fig. 1 sweep against the result
+// cache, cold (the store is empty: every cell simulates and is stored)
+// and warm (every cell replays from the store without simulating).
+// scripts/bench_sweeps.sh includes both in BENCH_sweeps.json; the
+// cold/warm ratio is the result cache's whole value proposition.
+func BenchmarkWarmSweep(b *testing.B) {
+	fig1 := harness.DefaultFig1(harness.Small)
+	saved := harness.ResultStore
+	defer func() { harness.ResultStore = saved }()
+	b.Run("fig1/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store, err := diskcache.Open(b.TempDir(), harness.ResultSchema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			harness.ResultStore = store
+			b.StartTimer()
+			if _, err := harness.RunFig1(fig1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fig1/warm", func(b *testing.B) {
+		store, err := diskcache.Open(b.TempDir(), harness.ResultSchema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.ResultStore = store
+		if _, err := harness.RunFig1(fig1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunFig1(fig1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- E6/E7 extras -----------------------------------------------------

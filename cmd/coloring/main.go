@@ -16,6 +16,7 @@ import (
 	"flag"
 	"log"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/runner"
 	"pargraph/internal/spec"
 )
@@ -41,6 +42,8 @@ func main() {
 		attrOut  = flag.String("attr", "", "write the per-region attribution as CSV to this file (simulated machines)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs and whole run results in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		noResult = flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but disable whole-result memoization")
 		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
@@ -83,6 +86,8 @@ func main() {
 			sp.Run.Workers = *workers
 		case "jobs":
 			sp.Run.Jobs = *jobs
+		case "cache-dir":
+			sp.Run.CacheDir = *cacheDir
 		case "emit-manifest":
 			sp.Output.Manifest = *manifest
 		}
@@ -90,7 +95,7 @@ func main() {
 	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := runner.Run(sp, runner.Options{}); err != nil {
+	if err := runner.Run(sp, runner.Options{NoResultCache: *noResult}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -70,7 +70,10 @@ func main() {
 		traceOut = flag.String("trace", "", "record every simulated machine's attribution trace and write Chrome trace JSON to this file")
 		attrOut  = flag.String("attr", "", "with tracing, also write the per-region attribution as CSV to this file")
 		shardS   = flag.String("shard", "", "run only the experiment cells of shard i/N (e.g. 0/4) and emit a partial-result envelope for cmd/shardmerge; requires -json")
-		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs and whole sweep-cell results in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		noResult = flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but disable whole-result memoization")
+		cacheSt  = flag.Bool("cache-stats", false, "print input- and result-cache hit/miss/byte counters to stderr after the run")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the cache directory's size; oldest entries are pruned on overflow (0 = unbounded)")
 		withTr   = flag.Bool("withtrace", false, "with -shard, carry this shard's trace events in the partial so shardmerge can render -trace/-attr")
 		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
@@ -148,7 +151,13 @@ func main() {
 		}
 	}()
 
-	if err := runner.Run(sp, runner.Options{WithTrace: *withTr}); err != nil {
+	opts := runner.Options{
+		WithTrace:     *withTr,
+		NoResultCache: *noResult,
+		CacheStats:    *cacheSt,
+		CacheMaxBytes: *cacheMax,
+	}
+	if err := runner.Run(sp, opts); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -38,6 +38,8 @@ func main() {
 		traceOut = flag.String("trace-json", "", "write a Chrome trace with per-region cycle attribution to this file (simulated machines)")
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); results are identical for any value")
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs and whole run results in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		noResult = flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but disable whole-result memoization")
 		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
@@ -81,6 +83,8 @@ func main() {
 			sp.Run.Workers = *workers
 		case "jobs":
 			sp.Run.Jobs = *jobs
+		case "cache-dir":
+			sp.Run.CacheDir = *cacheDir
 		case "emit-manifest":
 			sp.Output.Manifest = *manifest
 		}
@@ -88,7 +92,7 @@ func main() {
 	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := runner.Run(sp, runner.Options{RegionTrace: *traceFl}); err != nil {
+	if err := runner.Run(sp, runner.Options{RegionTrace: *traceFl, NoResultCache: *noResult}); err != nil {
 		log.Fatal(err)
 	}
 }

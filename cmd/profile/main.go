@@ -57,7 +57,10 @@ func main() {
 		workers  = flag.Int("workers", 1, "host goroutines replaying each simulated region (0 = auto: every core, serial for small regions); output is identical for any value")
 		jobs     = flag.Int("jobs", 0, "experiment cells run concurrently (with -machine both the two machines are separate cells; 0 = NumCPU); output is identical for any value")
 		shardS   = flag.String("shard", "", "run only the cells of shard i/N (e.g. 0/2) and emit a partial-result envelope on stdout for cmd/shardmerge")
-		cacheDir = flag.String("cache-dir", "", "persist generated inputs in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		cacheDir = flag.String("cache-dir", "", "persist generated inputs and whole sweep-cell results in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
+		noResult = flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but disable whole-result memoization")
+		cacheSt  = flag.Bool("cache-stats", false, "print input- and result-cache hit/miss/byte counters to stderr after the run")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the cache directory's size; oldest entries are pruned on overflow (0 = unbounded)")
 		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile at exit to this file")
@@ -121,7 +124,12 @@ func main() {
 		}
 	}()
 
-	if err := runner.Run(sp, runner.Options{}); err != nil {
+	opts := runner.Options{
+		NoResultCache: *noResult,
+		CacheStats:    *cacheSt,
+		CacheMaxBytes: *cacheMax,
+	}
+	if err := runner.Run(sp, opts); err != nil {
 		log.Fatal(err)
 	}
 }

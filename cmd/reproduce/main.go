@@ -18,6 +18,15 @@
 //
 //	reproduce fig1.manifest.json
 //	reproduce -verify-only fig1.manifest.json
+//	reproduce -cache-dir /tmp/pgc fig1.manifest.json   # warm re-run
+//
+// With -cache-dir (or $PARGRAPH_CACHE) the phase-2 re-run resolves
+// inputs and whole sweep-cell results from the cache, which makes
+// checking a large manifest fast; every recomputed hash is still
+// diffed against the record, so a stale or corrupted cache entry
+// surfaces as a reported mismatch, never as a silent pass.
+// -no-result-cache keeps the input cache but forces every cell to
+// re-simulate.
 package main
 
 import (
@@ -38,6 +47,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reproduce: ")
 	verifyOnly := flag.Bool("verify-only", false, "only check the on-disk artifacts against the manifest; skip the re-run")
+	cacheDir := flag.String("cache-dir", "", "let the phase-2 re-run consult a content-addressed input/result cache at this directory (default $PARGRAPH_CACHE; empty = off); hashes are diffed either way, so a poisoned cache fails the check rather than hiding drift")
+	noResult := flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but force the re-run to re-simulate every cell")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: reproduce [-verify-only] <manifest.json>")
@@ -102,6 +113,9 @@ func main() {
 	}
 	defer os.RemoveAll(tmp)
 	sp.Output.Manifest = filepath.Join(tmp, "rerun.manifest.json")
+	// CacheDir is an execution field: the spec's canonical form excludes
+	// it, so pointing the re-run at a cache cannot move the spec hash.
+	sp.Run.CacheDir = *cacheDir
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -110,7 +124,7 @@ func main() {
 	if err := os.Chdir(tmp); err != nil {
 		log.Fatal(err)
 	}
-	runErr := runner.Run(sp, runner.Options{Stdout: io.Discard, Stderr: io.Discard})
+	runErr := runner.Run(sp, runner.Options{Stdout: io.Discard, Stderr: io.Discard, NoResultCache: *noResult})
 	if err := os.Chdir(cwd); err != nil {
 		log.Fatal(err)
 	}

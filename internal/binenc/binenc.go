@@ -13,7 +13,10 @@
 // they return ok=false and let the cache treat the entry as garbage.
 package binenc
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // maxLen bounds decoded slice lengths so a corrupt length prefix cannot
 // ask for an absurd allocation before the checksum would have caught it
@@ -31,6 +34,70 @@ func ConsumeUint64(b []byte) (uint64, []byte, bool) {
 		return 0, nil, false
 	}
 	return binary.LittleEndian.Uint64(b), b[8:], true
+}
+
+// AppendFloat64 appends one float64 as its IEEE-754 bit pattern, so
+// round-trips are exact for every value including NaNs and -0.
+func AppendFloat64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// ConsumeFloat64 reads one float64 off the front of b.
+func ConsumeFloat64(b []byte) (float64, []byte, bool) {
+	u, b, ok := ConsumeUint64(b)
+	if !ok {
+		return 0, nil, false
+	}
+	return math.Float64frombits(u), b, true
+}
+
+// AppendFloat64s appends a length-prefixed []float64, with nil encoded
+// distinctly from an empty slice (the trace types render the two
+// differently, so codecs must preserve the distinction).
+func AppendFloat64s(buf []byte, v []float64) []byte {
+	if v == nil {
+		return AppendUint64(buf, 0)
+	}
+	buf = AppendUint64(buf, uint64(len(v))+1)
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// ConsumeFloat64s reads a length-prefixed []float64 off the front of b.
+func ConsumeFloat64s(b []byte) ([]float64, []byte, bool) {
+	n, b, ok := ConsumeUint64(b)
+	if !ok || n > maxLen {
+		return nil, nil, false
+	}
+	if n == 0 {
+		return nil, b, true
+	}
+	n--
+	if uint64(len(b)) < 8*n {
+		return nil, nil, false
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, b[8*n:], true
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(buf []byte, v string) []byte {
+	buf = AppendUint64(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// ConsumeString reads a length-prefixed string off the front of b.
+func ConsumeString(b []byte) (string, []byte, bool) {
+	v, b, ok := ConsumeBytes(b)
+	if !ok {
+		return "", nil, false
+	}
+	return string(v), b, true
 }
 
 // AppendInt64s appends a length-prefixed []int64.

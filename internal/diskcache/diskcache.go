@@ -41,7 +41,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // magic opens every entry file; a file without it is not ours.
@@ -58,22 +62,30 @@ const maxMetaLen = 1 << 20
 // Store is one cache directory opened under one schema string. It is
 // safe for concurrent use by any number of goroutines and processes.
 type Store struct {
-	dir    string
-	schema string
+	dir      string
+	schema   string
+	maxBytes int64 // 0 = unbounded; set once via SetMaxBytes before use
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	puts    atomic.Int64
-	rejects atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	puts         atomic.Int64
+	rejects      atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	pruneMu    sync.Mutex
+	approxSize atomic.Int64 // directory bytes as of the last scan plus later puts; -1 = never scanned
 }
 
 // Stats counts this handle's cache traffic (not the directory's —
 // other processes keep their own counters).
 type Stats struct {
-	Hits    int64 // Get found a valid entry
-	Misses  int64 // Get found nothing addressed by the key
-	Puts    int64 // entries written
-	Rejects int64 // Get found a file but rejected it (truncated, corrupt, or foreign)
+	Hits         int64 // Get found a valid entry
+	Misses       int64 // Get found nothing addressed by the key
+	Puts         int64 // entries written
+	Rejects      int64 // Get found a file but rejected it (truncated, corrupt, or foreign)
+	BytesRead    int64 // entry bytes read back on hits
+	BytesWritten int64 // entry bytes written by puts
 }
 
 // Open creates (if needed) and returns the store rooted at dir, with
@@ -87,8 +99,19 @@ func Open(dir, schema string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
 	}
-	return &Store{dir: dir, schema: schema}, nil
+	s := &Store{dir: dir, schema: schema}
+	s.approxSize.Store(-1)
+	return s, nil
 }
+
+// SetMaxBytes installs a best-effort size cap on the store's directory:
+// when a Put pushes the directory (all entry files, whatever schema
+// wrote them) past n bytes, the oldest entries by mtime are removed
+// until it fits, never touching the entry just written. Zero means
+// unbounded. Call once after Open, before the store is shared; the cap
+// is advisory — a single entry larger than n, or concurrent writers in
+// other processes, can leave the directory temporarily over it.
+func (s *Store) SetMaxBytes(n int64) { s.maxBytes = n }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -128,6 +151,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(raw)))
 	return payload, true
 }
 
@@ -141,27 +165,81 @@ func (s *Store) Put(key string, payload []byte) error {
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(encodeEntry(s.schema, key, payload)); err != nil {
+	entry := encodeEntry(s.schema, key, payload)
+	if _, err := tmp.Write(entry); err != nil {
 		tmp.Close()
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("diskcache: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	dst := s.path(key)
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	s.puts.Add(1)
+	s.bytesWritten.Add(int64(len(entry)))
+	if s.maxBytes > 0 {
+		if sz := s.approxSize.Add(int64(len(entry))); sz-int64(len(entry)) < 0 || sz > s.maxBytes {
+			s.prune(dst)
+		}
+	}
 	return nil
+}
+
+// prune scans the directory and removes entry files oldest-mtime-first
+// until the total fits under maxBytes, sparing keep (the entry whose Put
+// triggered the scan). All failures are swallowed: the cap is a
+// housekeeping promise, not a correctness one.
+func (s *Store) prune(keep string) {
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".pgc") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(s.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if f.path == keep {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+	s.approxSize.Store(total)
 }
 
 // Stats returns this handle's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Puts:    s.puts.Load(),
-		Rejects: s.rejects.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Rejects:      s.rejects.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestMain(m *testing.M) {
@@ -30,10 +31,37 @@ func helperKey(i int) string { return fmt.Sprintf("xproc/key/%d", i) }
 
 const helperKeys = 32
 
+// resultKey and resultContent mirror the shape of the harness result
+// store's entries: a cost-schema-versioned, length-framed cell key and a
+// length-framed binary payload. The cross-process tests hammer these in
+// the same directory as the generic entries, under the result schema,
+// so shard processes sharing one cache for inputs AND results is
+// exercised end to end at this layer.
+func resultKey(i int) string {
+	cfg := fmt.Sprintf("fig1/size=%d/p=%d/seed=%d|notrace", 256<<(i%4), 1<<(i%3), i)
+	return fmt.Sprintf("result/c1/%d:%s", len(cfg), cfg)
+}
+
+func resultContent(i int) []byte {
+	payload := bytes.Repeat([]byte{byte(i), 0x00, 0xff, byte(i >> 3)}, i%9+2)
+	frame := make([]byte, 8)
+	frame[0] = byte(len(payload))
+	return append(frame, payload...)
+}
+
+const resultHelperSchema = "pargraph-results-v1"
+
 // helperMain is the child process body: repeatedly put and get the
-// shared key set, failing (non-zero exit) on any invalid read.
+// shared key set — generic entries under one schema and result-shaped
+// entries under another, in the same directory — failing (non-zero
+// exit) on any invalid read.
 func helperMain(dir string) int {
 	s, err := Open(dir, "xproc-schema")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rs, err := Open(dir, resultHelperSchema)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -50,10 +78,24 @@ func helperMain(dir string) int {
 					return 1
 				}
 			}
+			if err := rs.Put(resultKey(i), resultContent(i)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if got, ok := rs.Get(resultKey((i + round) % helperKeys)); ok {
+				if want := resultContent((i + round) % helperKeys); !bytes.Equal(got, want) {
+					fmt.Fprintf(os.Stderr, "helper: wrong result content for key %d\n", (i+round)%helperKeys)
+					return 1
+				}
+			}
 		}
 	}
 	if st := s.Stats(); st.Rejects != 0 {
 		fmt.Fprintf(os.Stderr, "helper: %d rejected reads\n", st.Rejects)
+		return 1
+	}
+	if st := rs.Stats(); st.Rejects != 0 {
+		fmt.Fprintf(os.Stderr, "helper: %d rejected result reads\n", st.Rejects)
 		return 1
 	}
 	return 0
@@ -237,6 +279,79 @@ func TestTempFilesAreNotLeaked(t *testing.T) {
 	}
 }
 
+// TestMaxBytesPrunesOldest: with a size cap installed, a Put that
+// overflows the directory evicts the oldest entries by mtime, spares
+// the entry just written, and the store keeps working.
+func TestMaxBytesPrunesOldest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1024)
+	entrySize := int64(len(encodeEntry("v1", "k0", payload)))
+	s.SetMaxBytes(3 * entrySize)
+
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct, increasing mtimes so eviction order is
+		// deterministic regardless of filesystem timestamp granularity.
+		if err := os.Chtimes(s.path(key), base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force a final overflow check against the pinned mtimes.
+	if err := s.Put("k6", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("k6"); !ok {
+		t.Fatal("the entry just written was evicted")
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Error("oldest entry survived an overflow that required eviction")
+	}
+	var total int64
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total > 3*entrySize {
+		t.Errorf("directory holds %d bytes after pruning, cap is %d", total, 3*entrySize)
+	}
+}
+
+// TestBytesCounters: hits and puts account the full entry bytes moved.
+func TestBytesCounters(t *testing.T) {
+	s, err := Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("some payload")
+	entrySize := int64(len(encodeEntry("v1", "k", payload)))
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("miss after put")
+	}
+	st := s.Stats()
+	if st.BytesWritten != entrySize || st.BytesRead != entrySize {
+		t.Errorf("bytes read/written = %d/%d, want %d/%d", st.BytesRead, st.BytesWritten, entrySize, entrySize)
+	}
+}
+
 // TestConcurrentGoroutines races many readers and writers over a shared
 // key set within one process (run under -race in CI).
 func TestConcurrentGoroutines(t *testing.T) {
@@ -311,10 +426,17 @@ func TestCrossProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs, err := Open(dir, resultHelperSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for round := 0; round < 200; round++ {
 		i := round % helperKeys
 		if got, ok := s.Get(helperKey(i)); ok && !bytes.Equal(got, helperContent(i)) {
 			t.Fatalf("parent read wrong content for key %d", i)
+		}
+		if got, ok := rs.Get(resultKey(i)); ok && !bytes.Equal(got, resultContent(i)) {
+			t.Fatalf("parent read wrong result content for key %d", i)
 		}
 	}
 
@@ -326,8 +448,16 @@ func TestCrossProcess(t *testing.T) {
 	if st := s.Stats(); st.Rejects != 0 {
 		t.Fatalf("parent rejected %d entries while children wrote atomically", st.Rejects)
 	}
-	// After the dust settles every key must be present and valid.
+	if st := rs.Stats(); st.Rejects != 0 {
+		t.Fatalf("parent rejected %d result entries while children wrote atomically", st.Rejects)
+	}
+	// After the dust settles every key must be present and valid, in
+	// both schemas.
 	final, err := Open(dir, "xproc-schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfinal, err := Open(dir, resultHelperSchema)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,6 +468,13 @@ func TestCrossProcess(t *testing.T) {
 		}
 		if !bytes.Equal(got, helperContent(i)) {
 			t.Fatalf("key %d invalid after both writers finished", i)
+		}
+		rgot, ok := rfinal.Get(resultKey(i))
+		if !ok {
+			t.Fatalf("result key %d missing after both writers finished", i)
+		}
+		if !bytes.Equal(rgot, resultContent(i)) {
+			t.Fatalf("result key %d invalid after both writers finished", i)
 		}
 	}
 }

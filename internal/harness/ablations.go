@@ -68,15 +68,22 @@ func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
 	res.Rows = make([]AblationRow, len(grains)*len(scheds))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		g, sched := grains[idx/len(scheds)], scheds[idx%len(scheds)]
-		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
-			func() *list.List { return list.New(n, list.Random, seed) })
-		m := c.MTA(cfg)
-		listrank.RankMTA(l, m, g.nwalk, sched.s)
-		res.Rows[idx] = AblationRow{
-			Config:  g.name + ", " + sched.name,
-			Seconds: m.Seconds(),
-			Extra:   fmt.Sprintf("utilization %.0f%%", m.Utilization()*100),
+		lKey := sweep.ListKey(n, list.Random.String(), seed)
+		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed) })
+		row, err := memo(c, fmt.Sprintf("abl/sched/p=%d/nwalk=%d/sched=%s/grain=%s", procs, g.nwalk, sched.name, g.name),
+			[]string{lKey}, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				m := c.MTA(cfg)
+				listrank.RankMTA(l, m, g.nwalk, sched.s)
+				return AblationRow{
+					Config:  g.name + ", " + sched.name,
+					Seconds: m.Seconds(),
+					Extra:   fmt.Sprintf("utilization %.0f%%", m.Utilization()*100),
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -95,25 +102,32 @@ func RunAblHashing(refs, procs int) *AblationResult {
 	res.Rows = make([]AblationRow, len(hashedBy))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		hashed := hashedBy[idx]
-		cfg := mta.DefaultConfig(procs)
-		cfg.HashMemory = hashed
-		m := c.MTA(cfg)
-		stride := uint64(cfg.Banks) // worst case: every ref to one bank
-		m.ParallelFor(refs/8, sim.SchedDynamic, func(i int, t *mta.Thread) {
-			for k := 0; k < 8; k++ {
-				t.Instr(1)
-				t.Load(uint64(i*8+k) * stride)
-			}
-		})
-		name := "hashing off"
-		if hashed {
-			name = "hashing on (MTA-2 behaviour)"
+		row, err := memo(c, fmt.Sprintf("abl/hashing/refs=%d/p=%d/hashed=%t", refs, procs, hashed),
+			nil, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				cfg := mta.DefaultConfig(procs)
+				cfg.HashMemory = hashed
+				m := c.MTA(cfg)
+				stride := uint64(cfg.Banks) // worst case: every ref to one bank
+				m.ParallelFor(refs/8, sim.SchedDynamic, func(i int, t *mta.Thread) {
+					for k := 0; k < 8; k++ {
+						t.Instr(1)
+						t.Load(uint64(i*8+k) * stride)
+					}
+				})
+				name := "hashing off"
+				if hashed {
+					name = "hashing on (MTA-2 behaviour)"
+				}
+				return AblationRow{
+					Config:  name,
+					Seconds: m.Seconds(),
+					Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  name,
-			Seconds: m.Seconds(),
-			Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -132,19 +146,26 @@ func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		f := factors[idx]
 		s := f * procs
-		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
-			func() *list.List { return list.New(n, list.Random, seed) })
-		m := c.SMP(smp.DefaultConfig(procs))
-		listrank.RankSMP(l, m, s, seed^uint64(s))
-		extra := ""
-		if f == 8 {
-			extra = "paper's choice"
+		lKey := sweep.ListKey(n, list.Random.String(), seed)
+		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed) })
+		row, err := memo(c, fmt.Sprintf("abl/sublists/p=%d/s=%d/seed=%d", procs, s, seed),
+			[]string{lKey}, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				m := c.SMP(smp.DefaultConfig(procs))
+				listrank.RankSMP(l, m, s, seed^uint64(s))
+				extra := ""
+				if f == 8 {
+					extra = "paper's choice"
+				}
+				return AblationRow{
+					Config:  fmt.Sprintf("s=%dp (%d)", f, s),
+					Seconds: m.Seconds(),
+					Extra:   extra,
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  fmt.Sprintf("s=%dp (%d)", f, s),
-			Seconds: m.Seconds(),
-			Extra:   extra,
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -170,18 +191,26 @@ func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		v := variants[idx]
 		gKey := sweep.GnmKey(n, edgeFactor*n, seed)
+		ufKey := sweep.UnionFindKey(gKey)
 		g := cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, edgeFactor*n, seed) })
-		want := cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
-		m := c.MTA(mta.DefaultConfig(procs))
-		got := v.label(g, m, sim.SchedDynamic)
-		if !graph.SameComponents(want, got) {
-			panic(v.bad)
+		want := cached(c, ufKey, func() []int32 { return concomp.UnionFind(g) })
+		row, err := memo(c, fmt.Sprintf("abl/shortcut/p=%d/variant=%d", procs, idx),
+			[]string{gKey, ufKey}, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				m := c.MTA(mta.DefaultConfig(procs))
+				got := v.label(g, m, sim.SchedDynamic)
+				if !graph.SameComponents(want, got) {
+					panic(v.bad)
+				}
+				return AblationRow{
+					Config:  v.config,
+					Seconds: m.Seconds(),
+					Extra:   fmt.Sprintf("%d regions", m.Stats().Regions),
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  v.config,
-			Seconds: m.Seconds(),
-			Extra:   fmt.Sprintf("%d regions", m.Stats().Regions),
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -198,21 +227,33 @@ func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
 	res.Rows = make([]AblationRow, len(l2MB))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		mb := l2MB[idx]
-		var secs [2]float64
-		for li, layout := range []list.Layout{list.Ordered, list.Random} {
-			l := cached(c, sweep.ListKey(n, layout.String(), seed),
-				func() *list.List { return list.New(n, layout, seed) })
-			cfg := smp.DefaultConfig(procs)
-			cfg.L2Bytes = mb << 20
-			m := c.SMP(cfg)
-			listrank.RankSMP(l, m, 8*procs, seed^uint64(mb))
-			secs[li] = m.Seconds()
+		layouts := []list.Layout{list.Ordered, list.Random}
+		keys := make([]string, len(layouts))
+		lists := make([]*list.List, len(layouts))
+		for li, layout := range layouts {
+			keys[li] = sweep.ListKey(n, layout.String(), seed)
+			lists[li] = cached(c, keys[li], func() *list.List { return list.New(n, layout, seed) })
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  fmt.Sprintf("L2=%dMB", mb),
-			Seconds: secs[1],
-			Extra:   fmt.Sprintf("random/ordered gap %.1fx", secs[1]/secs[0]),
+		row, err := memo(c, fmt.Sprintf("abl/cache/p=%d/l2mb=%d/seed=%d", procs, mb, seed),
+			keys, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				var secs [2]float64
+				for li := range layouts {
+					cfg := smp.DefaultConfig(procs)
+					cfg.L2Bytes = mb << 20
+					m := c.SMP(cfg)
+					listrank.RankSMP(lists[li], m, 8*procs, seed^uint64(mb))
+					secs[li] = m.Seconds()
+				}
+				return AblationRow{
+					Config:  fmt.Sprintf("L2=%dMB", mb),
+					Seconds: secs[1],
+					Extra:   fmt.Sprintf("random/ordered gap %.1fx", secs[1]/secs[0]),
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -229,22 +270,29 @@ func RunAblAssociativity(n, procs int, assocs []int, seed uint64) *AblationResul
 	res.Rows = make([]AblationRow, len(assocs))
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
 		a := assocs[idx]
-		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
-			func() *list.List { return list.New(n, list.Random, seed) })
-		cfg := smp.DefaultConfig(procs)
-		cfg.L1Assoc = a
-		cfg.L2Assoc = a
-		m := c.SMP(cfg)
-		listrank.RankSMP(l, m, 8*procs, seed^uint64(a))
-		extra := ""
-		if a == 1 {
-			extra = "direct mapped (E4500)"
+		lKey := sweep.ListKey(n, list.Random.String(), seed)
+		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed) })
+		row, err := memo(c, fmt.Sprintf("abl/assoc/p=%d/assoc=%d/seed=%d", procs, a, seed),
+			[]string{lKey}, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				cfg := smp.DefaultConfig(procs)
+				cfg.L1Assoc = a
+				cfg.L2Assoc = a
+				m := c.SMP(cfg)
+				listrank.RankSMP(l, m, 8*procs, seed^uint64(a))
+				extra := ""
+				if a == 1 {
+					extra = "direct mapped (E4500)"
+				}
+				return AblationRow{
+					Config:  fmt.Sprintf("%d-way", a),
+					Seconds: m.Seconds(),
+					Extra:   extra,
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  fmt.Sprintf("%d-way", a),
-			Seconds: m.Seconds(),
-			Extra:   extra,
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -265,30 +313,37 @@ func RunAblReduction(n, procs int) *AblationResult {
 
 	res.Rows = make([]AblationRow, 2)
 	err := ablSweep(len(res.Rows), func(idx int, c *Cell) error {
-		m := c.MTA(mta.DefaultConfig(procs))
-		var config string
-		if idx == 0 {
-			config = "int_fetch_add on one counter"
-			m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
-				t.Load(valsBase + uint64(i))
-				t.FetchAdd(counter)
+		row, err := memo(c, fmt.Sprintf("abl/reduction/n=%d/p=%d/variant=%d", n, procs, idx),
+			nil, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				m := c.MTA(mta.DefaultConfig(procs))
+				var config string
+				if idx == 0 {
+					config = "int_fetch_add on one counter"
+					m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
+						t.Load(valsBase + uint64(i))
+						t.FetchAdd(counter)
+					})
+				} else {
+					config = "stream-local partials + combine"
+					m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
+						t.Load(valsBase + uint64(i))
+						t.Instr(1) // accumulate into a stream-local register
+					})
+					streams := m.Config().UseStreams * procs
+					m.ParallelFor(streams, sim.SchedDynamic, func(i int, t *mta.Thread) {
+						t.FetchAdd(counter) // one combine per stream
+					})
+				}
+				return AblationRow{
+					Config:  config,
+					Seconds: m.Seconds(),
+					Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
+				}, nil
 			})
-		} else {
-			config = "stream-local partials + combine"
-			m.ParallelFor(n, sim.SchedDynamic, func(i int, t *mta.Thread) {
-				t.Load(valsBase + uint64(i))
-				t.Instr(1) // accumulate into a stream-local register
-			})
-			streams := m.Config().UseStreams * procs
-			m.ParallelFor(streams, sim.SchedDynamic, func(i int, t *mta.Thread) {
-				t.FetchAdd(counter) // one combine per stream
-			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  config,
-			Seconds: m.Seconds(),
-			Extra:   fmt.Sprintf("bank-stall cycles %.0f", m.Stats().BankStalls),
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {

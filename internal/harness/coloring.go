@@ -145,53 +145,71 @@ func RunColoring(params ColoringParams) (*ColoringResult, error) {
 		in := inputs[idx/stride]
 		gi, name := idx/stride, in.name
 		g := cached(c, in.key, in.build)
-		ref := cached(c, sweep.SpecRefKey(in.key), func() specRef {
+		refKey := sweep.SpecRefKey(in.key)
+		ref := cached(c, refKey, func() specRef {
 			color, st := coloring.Speculative(g)
 			return specRef{Color: color, Stats: st}
 		})
+		memoInputs := []string{in.key, refKey}
 
 		if pi := idx%stride - 1; pi < 0 {
 			// Dynamics cell: the machine-independent round behaviour.
-			if params.Verify {
-				if err := coloring.Validate(g, ref.Color); err != nil {
-					return fmt.Errorf("coloring %s: reference is improper: %w", name, err)
-				}
+			d, err := memo(c,
+				fmt.Sprintf("coloring/dynamics/verify=%t", params.Verify),
+				memoInputs, appendColoringDynamics, consumeColoringDynamics, func() (ColoringDynamics, error) {
+					if params.Verify {
+						if err := coloring.Validate(g, ref.Color); err != nil {
+							return ColoringDynamics{}, fmt.Errorf("coloring %s: reference is improper: %w", name, err)
+						}
+					}
+					return ColoringDynamics{
+						Input: name, N: g.N, M: g.M(),
+						SeqColors:  paletteSize(coloring.Sequential(g)),
+						SpecColors: ref.Stats.Colors,
+						Rounds:     ref.Stats.Rounds,
+						Conflicts:  ref.Stats.Conflicts,
+					}, nil
+				})
+			if err != nil {
+				return err
 			}
-			dynamics[gi] = ColoringDynamics{
-				Input: name, N: g.N, M: g.M(),
-				SeqColors:  paletteSize(coloring.Sequential(g)),
-				SpecColors: ref.Stats.Colors,
-				Rounds:     ref.Stats.Rounds,
-				Conflicts:  ref.Stats.Conflicts,
-			}
+			dynamics[gi] = d
 			return nil
 		} else {
 			procs := params.Procs[pi]
-			row := ColoringRow{Input: name, Procs: procs}
+			row, err := memo(c,
+				fmt.Sprintf("coloring/time/p=%d/verify=%t", procs, params.Verify),
+				memoInputs, appendColoringRow, consumeColoringRow, func() (ColoringRow, error) {
+					row := ColoringRow{Input: name, Procs: procs}
 
-			mm := c.MTA(mta.DefaultConfig(procs))
-			gotM, stM := coloring.ColorMTA(g, mm, sim.SchedDynamic)
-			if params.Verify {
-				if err := sameColors(ref.Color, gotM); err != nil {
-					return fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
-				}
-				if stM.Rounds != ref.Stats.Rounds {
-					return fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, ref.Stats.Rounds)
-				}
-			}
-			row.MTASeconds = mm.Seconds()
+					mm := c.MTA(mta.DefaultConfig(procs))
+					gotM, stM := coloring.ColorMTA(g, mm, sim.SchedDynamic)
+					if params.Verify {
+						if err := sameColors(ref.Color, gotM); err != nil {
+							return row, fmt.Errorf("coloring %s MTA p=%d: %w", name, procs, err)
+						}
+						if stM.Rounds != ref.Stats.Rounds {
+							return row, fmt.Errorf("coloring %s MTA p=%d: %d rounds, reference took %d", name, procs, stM.Rounds, ref.Stats.Rounds)
+						}
+					}
+					row.MTASeconds = mm.Seconds()
 
-			sm := c.SMP(smp.DefaultConfig(procs))
-			gotS, stS := coloring.ColorSMP(g, sm)
-			if params.Verify {
-				if err := sameColors(ref.Color, gotS); err != nil {
-					return fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
-				}
-				if stS.Rounds != ref.Stats.Rounds {
-					return fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, ref.Stats.Rounds)
-				}
+					sm := c.SMP(smp.DefaultConfig(procs))
+					gotS, stS := coloring.ColorSMP(g, sm)
+					if params.Verify {
+						if err := sameColors(ref.Color, gotS); err != nil {
+							return row, fmt.Errorf("coloring %s SMP p=%d: %w", name, procs, err)
+						}
+						if stS.Rounds != ref.Stats.Rounds {
+							return row, fmt.Errorf("coloring %s SMP p=%d: %d rounds, reference took %d", name, procs, stS.Rounds, ref.Stats.Rounds)
+						}
+					}
+					row.SMPSeconds = sm.Seconds()
+					return row, nil
+				})
+			if err != nil {
+				return err
 			}
-			row.SMPSeconds = sm.Seconds()
 			rows[gi*nP+pi] = row
 			return nil
 		}
@@ -293,20 +311,29 @@ func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationRes
 		sched := scheds[idx]
 		gKey := sweep.RMATKey(scale, edgeFactor*n, seed)
 		g := cached(c, gKey, func() *graph.Graph { return graph.RMAT(scale, edgeFactor*n, seed) })
-		want := cached(c, sweep.SpecRefKey(gKey), func() []int32 {
+		refKey := sweep.SpecRefKey(gKey)
+		want := cached(c, refKey, func() []int32 {
 			color, _ := coloring.Speculative(g)
 			return color
 		})
-		m := c.MTA(mta.DefaultConfig(procs))
-		got, st := coloring.ColorMTA(g, m, sched.s)
-		if err := sameColors(want, got); err != nil {
-			return fmt.Errorf("harness: A8 %s coloring diverged: %w", sched.name, err)
+		row, err := memo(c,
+			fmt.Sprintf("abl/colorsched/p=%d/sched=%s", procs, sched.name),
+			[]string{gKey, refKey}, appendAblationRow, consumeAblationRow, func() (AblationRow, error) {
+				m := c.MTA(mta.DefaultConfig(procs))
+				got, st := coloring.ColorMTA(g, m, sched.s)
+				if err := sameColors(want, got); err != nil {
+					return AblationRow{}, fmt.Errorf("harness: A8 %s coloring diverged: %w", sched.name, err)
+				}
+				return AblationRow{
+					Config:  sched.name,
+					Seconds: m.Seconds(),
+					Extra:   fmt.Sprintf("%d colors, %d rounds, utilization %.0f%%", st.Colors, st.Rounds, m.Utilization()*100),
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		res.Rows[idx] = AblationRow{
-			Config:  sched.name,
-			Seconds: m.Seconds(),
-			Extra:   fmt.Sprintf("%d colors, %d rounds, utilization %.0f%%", st.Colors, st.Rounds, m.Utilization()*100),
-		}
+		res.Rows[idx] = row
 		return nil
 	})
 	if err != nil {

@@ -144,11 +144,18 @@ func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
 		p := procs[idx/nK]
 		n := perProc[idx%nK] * p
-		l := cached(c, sweep.ListKey(n, list.Random.String(), seed+uint64(n)),
-			func() *list.List { return list.New(n, list.Random, seed+uint64(n)) })
-		m := c.MTA(mta.DefaultConfig(p))
-		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
-		rows[idx] = SaturationRow{Procs: p, N: n, Utilization: m.Utilization()}
+		lKey := sweep.ListKey(n, list.Random.String(), seed+uint64(n))
+		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed+uint64(n)) })
+		row, err := memo(c, fmt.Sprintf("saturation/p=%d", p),
+			[]string{lKey}, appendSaturationRow, consumeSaturationRow, func() (SaturationRow, error) {
+				m := c.MTA(mta.DefaultConfig(p))
+				listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+				return SaturationRow{Procs: p, N: n, Utilization: m.Utilization()}, nil
+			})
+		if err != nil {
+			return err
+		}
+		rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -189,13 +196,20 @@ type StreamsRow struct {
 func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
 	rows := make([]StreamsRow, len(streams))
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
-		l := cached(c, sweep.ListKey(n, list.Random.String(), seed),
-			func() *list.List { return list.New(n, list.Random, seed) })
-		cfg := mta.DefaultConfig(procs)
-		cfg.UseStreams = streams[idx]
-		m := c.MTA(cfg)
-		listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
-		rows[idx] = StreamsRow{Streams: streams[idx], Seconds: m.Seconds(), Utilization: m.Utilization()}
+		lKey := sweep.ListKey(n, list.Random.String(), seed)
+		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed) })
+		row, err := memo(c, fmt.Sprintf("streams/p=%d/streams=%d", procs, streams[idx]),
+			[]string{lKey}, appendStreamsRow, consumeStreamsRow, func() (StreamsRow, error) {
+				cfg := mta.DefaultConfig(procs)
+				cfg.UseStreams = streams[idx]
+				m := c.MTA(cfg)
+				listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
+				return StreamsRow{Streams: streams[idx], Seconds: m.Seconds(), Utilization: m.Utilization()}, nil
+			})
+		if err != nil {
+			return err
+		}
+		rows[idx] = row
 		return nil
 	})
 	if err != nil {
@@ -246,19 +260,27 @@ func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) 
 	rows := make([]TreeEvalRow, len(leaves))
 	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
 		nl := leaves[idx]
-		ref := cached(c, sweep.ExprKey(nl, seed+uint64(nl)), func() exprRef {
+		eKey := sweep.ExprKey(nl, seed+uint64(nl))
+		ref := cached(c, eKey, func() exprRef {
 			e := treecon.RandomExpr(nl, seed+uint64(nl))
 			return exprRef{E: e, Want: treecon.EvalSequential(e)}
 		})
-		mm := c.MTA(mta.DefaultConfig(procs))
-		if got := treecon.EvalMTA(ref.E, mm, sim.SchedDynamic); got != ref.Want {
-			return fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
+		row, err := memo(c, fmt.Sprintf("treeeval/p=%d/seed=%d", procs, seed),
+			[]string{eKey}, appendTreeEvalRow, consumeTreeEvalRow, func() (TreeEvalRow, error) {
+				mm := c.MTA(mta.DefaultConfig(procs))
+				if got := treecon.EvalMTA(ref.E, mm, sim.SchedDynamic); got != ref.Want {
+					return TreeEvalRow{}, fmt.Errorf("harness: E7 MTA wrong value at %d leaves", nl)
+				}
+				sm := c.SMP(smp.DefaultConfig(procs))
+				if got := treecon.EvalSMP(ref.E, sm, seed^uint64(nl)); got != ref.Want {
+					return TreeEvalRow{}, fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
+				}
+				return TreeEvalRow{Leaves: nl, MTASeconds: mm.Seconds(), SMPSeconds: sm.Seconds()}, nil
+			})
+		if err != nil {
+			return err
 		}
-		sm := c.SMP(smp.DefaultConfig(procs))
-		if got := treecon.EvalSMP(ref.E, sm, seed^uint64(nl)); got != ref.Want {
-			return fmt.Errorf("harness: E7 SMP wrong value at %d leaves", nl)
-		}
-		rows[idx] = TreeEvalRow{Leaves: nl, MTASeconds: mm.Seconds(), SMPSeconds: sm.Seconds()}
+		rows[idx] = row
 		return nil
 	})
 	if err != nil {

@@ -59,34 +59,42 @@ type Fig1Result struct {
 // read-only by every processor count that ranks it.
 func RunFig1(params Fig1Params) (*Fig1Result, error) {
 	nP, nS := len(params.Procs), len(params.Sizes)
-	type cellOut struct{ mta, smp Point }
-	outs := make([]cellOut, len(params.Layouts)*nP*nS)
+	outs := make([]pointPair, len(params.Layouts)*nP*nS)
 	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
 		layout := params.Layouts[idx/(nP*nS)]
 		procs := params.Procs[idx/nS%nP]
 		n := params.Sizes[idx%nS]
-		l := cached(c, sweep.ListKey(n, layout.String(), params.Seed+uint64(n)),
-			func() *list.List { return list.New(n, layout, params.Seed+uint64(n)) })
+		lKey := sweep.ListKey(n, layout.String(), params.Seed+uint64(n))
+		l := cached(c, lKey, func() *list.List { return list.New(n, layout, params.Seed+uint64(n)) })
 
-		mm := c.MTA(mta.DefaultConfig(procs))
-		rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
-		if params.Verify {
-			if err := l.VerifyRanks(rank); err != nil {
-				return fmt.Errorf("fig1 MTA n=%d p=%d: %w", n, procs, err)
-			}
-		}
+		out, err := memo(c,
+			fmt.Sprintf("fig1/p=%d/npw=%d/sub=%d/seed=%d/verify=%t",
+				procs, params.NodesPerWalk, params.Sublists, params.Seed, params.Verify),
+			[]string{lKey}, appendPointPair, consumePointPair, func() (pointPair, error) {
+				mm := c.MTA(mta.DefaultConfig(procs))
+				rank := listrank.RankMTA(l, mm, n/params.NodesPerWalk, sim.SchedDynamic)
+				if params.Verify {
+					if err := l.VerifyRanks(rank); err != nil {
+						return pointPair{}, fmt.Errorf("fig1 MTA n=%d p=%d: %w", n, procs, err)
+					}
+				}
 
-		sm := c.SMP(smp.DefaultConfig(procs))
-		rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
-		if params.Verify {
-			if err := l.VerifyRanks(rank); err != nil {
-				return fmt.Errorf("fig1 SMP n=%d p=%d: %w", n, procs, err)
-			}
+				sm := c.SMP(smp.DefaultConfig(procs))
+				rank = listrank.RankSMP(l, sm, params.Sublists*procs, params.Seed^uint64(n))
+				if params.Verify {
+					if err := l.VerifyRanks(rank); err != nil {
+						return pointPair{}, fmt.Errorf("fig1 SMP n=%d p=%d: %w", n, procs, err)
+					}
+				}
+				return pointPair{
+					MTA: Point{X: float64(n), Seconds: mm.Seconds()},
+					SMP: Point{X: float64(n), Seconds: sm.Seconds()},
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		outs[idx] = cellOut{
-			mta: Point{X: float64(n), Seconds: mm.Seconds()},
-			smp: Point{X: float64(n), Seconds: sm.Seconds()},
-		}
+		outs[idx] = out
 		return nil
 	})
 	if err != nil {
@@ -100,8 +108,8 @@ func RunFig1(params Fig1Params) (*Fig1Result, error) {
 			smpSeries := Series{Machine: "SMP", Workload: layout.String(), Procs: procs}
 			for si := range params.Sizes {
 				o := outs[(li*nP+pi)*nS+si]
-				mtaSeries.Points = append(mtaSeries.Points, o.mta)
-				smpSeries.Points = append(smpSeries.Points, o.smp)
+				mtaSeries.Points = append(mtaSeries.Points, o.MTA)
+				smpSeries.Points = append(smpSeries.Points, o.SMP)
 			}
 			res.Series = append(res.Series, mtaSeries, smpSeries)
 		}

@@ -56,8 +56,7 @@ type Fig2Result struct {
 // built once per edge factor and shared by every processor count.
 func RunFig2(params Fig2Params) (*Fig2Result, error) {
 	nF := len(params.EdgeFactors)
-	type cellOut struct{ mta, smp Point }
-	outs := make([]cellOut, len(params.Procs)*nF)
+	outs := make([]pointPair, len(params.Procs)*nF)
 	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
 		procs := params.Procs[idx/nF]
 		f := params.EdgeFactors[idx%nF]
@@ -66,26 +65,37 @@ func RunFig2(params Fig2Params) (*Fig2Result, error) {
 		g := cached(c, gKey, func() *graph.Graph {
 			return graph.RandomGnm(params.N, m, params.Seed+uint64(f))
 		})
+		inputs := []string{gKey}
 		var want []int32
 		if params.Verify {
-			want = cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
+			ufKey := sweep.UnionFindKey(gKey)
+			want = cached(c, ufKey, func() []int32 { return concomp.UnionFind(g) })
+			inputs = append(inputs, ufKey)
 		}
 
-		mm := c.MTA(mta.DefaultConfig(procs))
-		got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
-		if params.Verify && !graph.SameComponents(want, got) {
-			return fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
-		}
+		out, err := memo(c,
+			fmt.Sprintf("fig2/p=%d/seed=%d/verify=%t", procs, params.Seed, params.Verify),
+			inputs, appendPointPair, consumePointPair, func() (pointPair, error) {
+				mm := c.MTA(mta.DefaultConfig(procs))
+				got := concomp.LabelMTA(g, mm, sim.SchedDynamic)
+				if params.Verify && !graph.SameComponents(want, got) {
+					return pointPair{}, fmt.Errorf("fig2 MTA m=%d p=%d: wrong components", m, procs)
+				}
 
-		sm := c.SMP(smp.DefaultConfig(procs))
-		got = concomp.LabelSMP(g, sm)
-		if params.Verify && !graph.SameComponents(want, got) {
-			return fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)
+				sm := c.SMP(smp.DefaultConfig(procs))
+				got = concomp.LabelSMP(g, sm)
+				if params.Verify && !graph.SameComponents(want, got) {
+					return pointPair{}, fmt.Errorf("fig2 SMP m=%d p=%d: wrong components", m, procs)
+				}
+				return pointPair{
+					MTA: Point{X: float64(m), Seconds: mm.Seconds()},
+					SMP: Point{X: float64(m), Seconds: sm.Seconds()},
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
-		outs[idx] = cellOut{
-			mta: Point{X: float64(m), Seconds: mm.Seconds()},
-			smp: Point{X: float64(m), Seconds: sm.Seconds()},
-		}
+		outs[idx] = out
 		return nil
 	})
 	if err != nil {
@@ -99,8 +109,8 @@ func RunFig2(params Fig2Params) (*Fig2Result, error) {
 		smpSeries := Series{Machine: "SMP", Workload: workload, Procs: procs}
 		for fi := range params.EdgeFactors {
 			o := outs[pi*nF+fi]
-			mtaSeries.Points = append(mtaSeries.Points, o.mta)
-			smpSeries.Points = append(smpSeries.Points, o.smp)
+			mtaSeries.Points = append(mtaSeries.Points, o.MTA)
+			smpSeries.Points = append(smpSeries.Points, o.SMP)
 		}
 		res.Series = append(res.Series, mtaSeries, smpSeries)
 	}

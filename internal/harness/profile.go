@@ -94,12 +94,19 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 	n := params.N
 	var mtaKernel func(c *Cell, m *mta.Machine) error
 	var smpKernel func(c *Cell, m *smp.Machine) error
+	// resolveInputs materializes every cached input the kernel will read
+	// (including verify-only references) and returns their content keys,
+	// so a result-cache hit still records the complete input set in the
+	// manifest.
+	var resolveInputs func(c *Cell) []string
 	switch params.Kernel {
 	case "fig1":
+		lKey := sweep.ListKey(n, params.Layout.String(), params.Seed)
 		getList := func(c *Cell) *list.List {
-			return cached(c, sweep.ListKey(n, params.Layout.String(), params.Seed),
+			return cached(c, lKey,
 				func() *list.List { return list.New(n, params.Layout, params.Seed) })
 		}
+		resolveInputs = func(c *Cell) []string { getList(c); return []string{lKey} }
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
 			l := getList(c)
 			rank := listrank.RankMTA(l, m, n/listrank.DefaultNodesPerWalk, sim.SchedDynamic)
@@ -113,15 +120,21 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 
 	case "fig2":
 		gKey := sweep.GnmKey(n, 8*n, params.Seed)
+		ufKey := sweep.UnionFindKey(gKey)
 		getGraph := func(c *Cell) *graph.Graph {
 			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
 		}
 		check := func(c *Cell, g *graph.Graph, got []int32) error {
-			want := cached(c, sweep.UnionFindKey(gKey), func() []int32 { return concomp.UnionFind(g) })
+			want := cached(c, ufKey, func() []int32 { return concomp.UnionFind(g) })
 			if !graph.SameComponents(want, got) {
 				return fmt.Errorf("wrong components")
 			}
 			return nil
+		}
+		resolveInputs = func(c *Cell) []string {
+			g := getGraph(c)
+			cached(c, ufKey, func() []int32 { return concomp.UnionFind(g) })
+			return []string{gKey, ufKey}
 		}
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
 			g := getGraph(c)
@@ -140,8 +153,9 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			Vals []int64
 			Want []int64
 		}
+		pKey := sweep.PrefixKey(n, params.Layout.String(), params.Seed)
 		getIn := func(c *Cell) prefixIn {
-			return cached(c, sweep.PrefixKey(n, params.Layout.String(), params.Seed), func() prefixIn {
+			return cached(c, pKey, func() prefixIn {
 				l := list.New(n, params.Layout, params.Seed)
 				vals := make([]int64, n)
 				r := rng.New(params.Seed ^ 0xabcd)
@@ -151,6 +165,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 				return prefixIn{L: l, Vals: vals, Want: listrank.SequentialPrefix(l, vals)}
 			})
 		}
+		resolveInputs = func(c *Cell) []string { getIn(c); return []string{pKey} }
 		check := func(want, got []int64) error {
 			for i := range want {
 				if got[i] != want[i] {
@@ -173,12 +188,14 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 			E    *treecon.Expr
 			Want int64
 		}
+		eKey := sweep.ExprKey(n, params.Seed)
 		getIn := func(c *Cell) exprIn {
-			return cached(c, sweep.ExprKey(n, params.Seed), func() exprIn {
+			return cached(c, eKey, func() exprIn {
 				e := treecon.RandomExpr(n, params.Seed)
 				return exprIn{E: e, Want: treecon.EvalSequential(e)}
 			})
 		}
+		resolveInputs = func(c *Cell) []string { getIn(c); return []string{eKey} }
 		check := func(want, got int64) error {
 			if got != want {
 				return fmt.Errorf("tree evaluation mismatch: got %d, want %d", got, want)
@@ -196,18 +213,26 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 
 	case "coloring":
 		gKey := sweep.GnmKey(n, 8*n, params.Seed)
+		refKey := sweep.SpecRefKey(gKey)
 		getGraph := func(c *Cell) *graph.Graph {
 			return cached(c, gKey, func() *graph.Graph { return graph.RandomGnm(n, 8*n, params.Seed) })
 		}
-		check := func(c *Cell, g *graph.Graph, got []int32) error {
-			want := cached(c, sweep.SpecRefKey(gKey), func() []int32 {
+		getRef := func(c *Cell, g *graph.Graph) []int32 {
+			return cached(c, refKey, func() []int32 {
 				color, _ := coloring.Speculative(g)
 				return color
 			})
-			if err := sameColors(want, got); err != nil {
+		}
+		check := func(c *Cell, g *graph.Graph, got []int32) error {
+			if err := sameColors(getRef(c, g), got); err != nil {
 				return err
 			}
 			return coloring.Validate(g, got)
+		}
+		resolveInputs = func(c *Cell) []string {
+			g := getGraph(c)
+			getRef(c, g)
+			return []string{gKey, refKey}
 		}
 		mtaKernel = func(c *Cell, m *mta.Machine) error {
 			g := getGraph(c)
@@ -250,13 +275,24 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		}})
 	}
 
+	cfg := fmt.Sprintf("profile/%s/n=%d/p=%d/seed=%d", params.Kernel, n, params.Procs, params.Seed)
+	if params.Kernel == "fig1" || params.Kernel == "prefix" {
+		cfg += "/layout=" + params.Layout.String()
+	}
 	runs := make([]ProfileRun, len(cells))
 	recs, err := runSweep(len(cells), sweepOpts{record: true, sample: params.SampleCycles}, func(i int, c *Cell) error {
-		cycles, seconds, err := cells[i].run(c)
+		pt, err := memo(c, cfg+"/machine="+cells[i].machine, resolveInputs(c),
+			appendProfPoint, consumeProfPoint, func() (profPoint, error) {
+				cycles, seconds, err := cells[i].run(c)
+				if err != nil {
+					return profPoint{}, err
+				}
+				return profPoint{Cycles: cycles, Seconds: seconds}, nil
+			})
 		if err != nil {
 			return err
 		}
-		runs[i] = ProfileRun{Machine: cells[i].machine, Cycles: cycles, Seconds: seconds}
+		runs[i] = ProfileRun{Machine: cells[i].machine, Cycles: pt.Cycles, Seconds: pt.Seconds}
 		return nil
 	})
 	if err != nil {

@@ -73,18 +73,32 @@ func RunTable1(params Table1Params) *Table1Result {
 	utils := make([]float64, 3*nP)
 	_, err := runSweep(len(utils), stdOpts(), func(idx int, c *Cell) error {
 		procs := params.Procs[idx%nP]
-		m := c.MTA(mta.DefaultConfig(procs))
-		if row := idx / nP; row < 2 {
+		row := idx / nP
+		var inKey string
+		var kernel func(m *mta.Machine)
+		if row < 2 {
 			layout := layouts[row]
-			l := cached(c, sweep.ListKey(params.ListN, layout.String(), params.Seed),
-				func() *list.List { return list.New(params.ListN, layout, params.Seed) })
-			listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
+			inKey = sweep.ListKey(params.ListN, layout.String(), params.Seed)
+			l := cached(c, inKey, func() *list.List { return list.New(params.ListN, layout, params.Seed) })
+			kernel = func(m *mta.Machine) {
+				listrank.RankMTA(l, m, params.ListN/params.NodesPerWalk, sim.SchedDynamic)
+			}
 		} else {
-			g := cached(c, sweep.GnmKey(params.GraphN, params.GraphM, params.Seed+1),
-				func() *graph.Graph { return graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1) })
-			concomp.LabelMTA(g, m, sim.SchedDynamic)
+			inKey = sweep.GnmKey(params.GraphN, params.GraphM, params.Seed+1)
+			g := cached(c, inKey, func() *graph.Graph { return graph.RandomGnm(params.GraphN, params.GraphM, params.Seed+1) })
+			kernel = func(m *mta.Machine) { concomp.LabelMTA(g, m, sim.SchedDynamic) }
 		}
-		utils[idx] = m.Utilization()
+		u, err := memo(c,
+			fmt.Sprintf("table1/row=%d/p=%d/npw=%d", row, procs, params.NodesPerWalk),
+			[]string{inKey}, appendF64, consumeF64, func() (float64, error) {
+				m := c.MTA(mta.DefaultConfig(procs))
+				kernel(m)
+				return m.Utilization(), nil
+			})
+		if err != nil {
+			return err
+		}
+		utils[idx] = u
 		return nil
 	})
 	if err != nil {

@@ -11,7 +11,15 @@
 // sharding never appear (the spec's canonical form excludes them), so
 // the same spec produces byte-identical manifests however the run was
 // scheduled. That identity is load-bearing — it is what lets a merged
-// shard run vouch for the artifacts of an unsharded one.
+// shard run vouch for the artifacts of an unsharded one. The one
+// exception is the results section: when a run consults the result
+// cache (internal/harness's result memoization), each sweep cell's
+// provenance — computed, or replayed from the cache — is recorded
+// there, and a warm run's manifest differs from a cold run's in
+// exactly that section. Everything the manifest promises about WHAT
+// was produced (spec hash, input hashes, artifact hashes) remains
+// identical; only the record of HOW each cell's result was obtained
+// varies.
 package manifest
 
 import (
@@ -55,6 +63,14 @@ type Artifact struct {
 	Bytes  int64  `json:"bytes"`
 }
 
+// Result is one sweep cell's result provenance: the result-cache key
+// that identifies the cell's configuration and inputs, and whether this
+// run computed the result or replayed it from the cache.
+type Result struct {
+	Key    string `json:"key"`
+	Source string `json:"source"` // "computed" or "cache"
+}
+
 // Manifest is the complete record of one run.
 type Manifest struct {
 	Schema     string `json:"schema"`
@@ -68,6 +84,9 @@ type Manifest struct {
 	InputSchema string     `json:"input_schema"`
 	Inputs      []Input    `json:"inputs"`
 	Artifacts   []Artifact `json:"artifacts"`
+	// Results is present only when result memoization was active; see
+	// the package comment on its execution-dependence.
+	Results []Result `json:"results,omitempty"`
 }
 
 // New starts a manifest for the given canonical spec, stamped with the
@@ -104,6 +123,7 @@ func (m *Manifest) AddArtifact(name, path string, data []byte) {
 // encode to equal bytes.
 func (m *Manifest) Encode() ([]byte, error) {
 	sort.Slice(m.Inputs, func(a, b int) bool { return m.Inputs[a].Key < m.Inputs[b].Key })
+	sort.Slice(m.Results, func(a, b int) bool { return m.Results[a].Key < m.Results[b].Key })
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("manifest: encoding: %w", err)
@@ -195,6 +215,23 @@ func Merge(parts []*Manifest) (*Manifest, error) {
 		out.Inputs = append(out.Inputs, in)
 	}
 	sort.Slice(out.Inputs, func(a, b int) bool { return out.Inputs[a].Key < out.Inputs[b].Key })
+
+	// Result provenance unions across shards. Shards own disjoint
+	// cells, so a key normally appears once; should two shards ever
+	// report one key, "computed" wins — it is the stronger statement.
+	results := make(map[string]Result)
+	for _, p := range parts {
+		for _, r := range p.Results {
+			if prev, ok := results[r.Key]; ok && prev.Source == "computed" {
+				continue
+			}
+			results[r.Key] = r
+		}
+	}
+	for _, r := range results {
+		out.Results = append(out.Results, r)
+	}
+	sort.Slice(out.Results, func(a, b int) bool { return out.Results[a].Key < out.Results[b].Key })
 	return out, nil
 }
 
@@ -208,6 +245,7 @@ func Merge(parts []*Manifest) (*Manifest, error) {
 type Log struct {
 	mu  sync.Mutex
 	m   map[string]Input
+	res map[string]Result
 	err error
 }
 
@@ -227,6 +265,37 @@ func (l *Log) Add(key string, data []byte) {
 		return
 	}
 	l.m[key] = in
+}
+
+// AddResult records one sweep cell's result provenance; its signature
+// matches the harness result hook. Each key is recorded once —
+// within one process a cell runs exactly once, so a repeat is benign.
+func (l *Log) AddResult(key string, hit bool) {
+	src := "computed"
+	if hit {
+		src = "cache"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.res == nil {
+		l.res = make(map[string]Result)
+	}
+	if _, ok := l.res[key]; ok {
+		return
+	}
+	l.res[key] = Result{Key: key, Source: src}
+}
+
+// Results returns the recorded result provenance sorted by key.
+func (l *Log) Results() []Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Result, 0, len(l.res))
+	for _, r := range l.res {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
 }
 
 // Inputs returns the recorded inputs sorted by key, or the latched

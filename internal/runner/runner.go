@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"pargraph/internal/cmdutil"
+	"pargraph/internal/diskcache"
 	"pargraph/internal/harness"
 	"pargraph/internal/manifest"
 	"pargraph/internal/spec"
@@ -44,6 +45,19 @@ type Options struct {
 	// DumpGraph writes the built graph to a DIMACS file before running
 	// (cmd/concomp -out).
 	DumpGraph string
+
+	// NoResultCache keeps the input cache but disables whole-result
+	// memoization (-no-result-cache): every cell re-simulates even when
+	// a cache directory is attached.
+	NoResultCache bool
+
+	// CacheStats prints the input- and result-cache hit/miss/byte
+	// counters to stderr after the run (-cache-stats).
+	CacheStats bool
+
+	// CacheMaxBytes bounds the cache directory's size; on overflow the
+	// oldest entries are pruned (-cache-max-bytes, 0 = unbounded).
+	CacheMaxBytes int64
 }
 
 // LoadSpec is the cmds' -spec entry point: the command's default spec
@@ -82,6 +96,8 @@ func Run(sp *spec.Spec, o Options) error {
 	// repeatedly in one process.
 	savedShard := harness.Shard
 	savedCache := harness.CacheStore
+	savedResults := harness.ResultStore
+	savedResultHook := harness.ResultHook
 	savedWorkers := harness.HostWorkers
 	savedJobs := harness.Jobs
 	savedHook := harness.InputHook
@@ -90,6 +106,8 @@ func Run(sp *spec.Spec, o Options) error {
 	defer func() {
 		harness.Shard = savedShard
 		harness.CacheStore = savedCache
+		harness.ResultStore = savedResults
+		harness.ResultHook = savedResultHook
 		harness.HostWorkers = savedWorkers
 		harness.Jobs = savedJobs
 		harness.InputHook = savedHook
@@ -109,18 +127,38 @@ func Run(sp *spec.Spec, o Options) error {
 	}
 	harness.Jobs = jobs
 
-	if sp.Run.Command == spec.CmdFigures || sp.Run.Command == spec.CmdProfile {
-		store, err := cmdutil.OpenCache(sp.Run.CacheDir, harness.InputSchema)
+	// Every command shares one cache directory under two schemas: the
+	// input store (generated lists/graphs/references) and the result
+	// store (whole sweep-cell outcomes, keyed on the cost-model schema
+	// version plus the cell's configuration and input content keys).
+	inputStore, err := cmdutil.OpenCache(sp.Run.CacheDir, harness.InputSchema)
+	if err != nil {
+		return err
+	}
+	harness.CacheStore = inputStore
+	var resultStore *diskcache.Store
+	if !o.NoResultCache {
+		resultStore, err = cmdutil.OpenCache(sp.Run.CacheDir, harness.ResultSchema)
 		if err != nil {
 			return err
 		}
-		harness.CacheStore = store
+	}
+	harness.ResultStore = resultStore
+	harness.ResultHook = nil
+	if o.CacheMaxBytes > 0 {
+		if inputStore != nil {
+			inputStore.SetMaxBytes(o.CacheMaxBytes)
+		}
+		if resultStore != nil {
+			resultStore.SetMaxBytes(o.CacheMaxBytes)
+		}
 	}
 
 	rc := &runCtx{sp: sp, o: &o}
 	if sp.Output.Manifest != "" {
 		rc.mlog = &manifest.Log{}
 		harness.InputHook = rc.mlog.Add
+		harness.ResultHook = rc.mlog.AddResult
 	}
 	if shard.Active() && (sp.Run.Command == spec.CmdProfile || o.WithTrace) {
 		harness.PartialTraces = &harness.PartialTraceLog{}
@@ -152,7 +190,23 @@ func Run(sp *spec.Spec, o Options) error {
 		}
 		fmt.Fprintf(o.Stderr, "wrote manifest to %s\n", sp.Output.Manifest)
 	}
+
+	if o.CacheStats {
+		printCacheStats(o.Stderr, "input", inputStore)
+		printCacheStats(o.Stderr, "result", resultStore)
+	}
 	return nil
+}
+
+// printCacheStats reports one store's traffic counters on stderr.
+func printCacheStats(w io.Writer, name string, s *diskcache.Store) {
+	if s == nil {
+		fmt.Fprintf(w, "%s cache: off\n", name)
+		return
+	}
+	st := s.Stats()
+	fmt.Fprintf(w, "%s cache (%s): hits=%d misses=%d rejects=%d puts=%d read=%dB written=%dB\n",
+		name, s.Dir(), st.Hits, st.Misses, st.Rejects, st.Puts, st.BytesRead, st.BytesWritten)
 }
 
 // runCtx is one run's mutable state: the spec, the output options, the
@@ -187,6 +241,7 @@ func (rc *runCtx) buildManifest() (*manifest.Manifest, error) {
 	}
 	m.Inputs = ins
 	m.Artifacts = rc.arts
+	m.Results = rc.mlog.Results()
 	return m, nil
 }
 

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// TestCalendarSteadyStateAllocs pins the freelist contract: once a
+// calendar has been through one drain, scheduling with a pre-built
+// closure allocates nothing — events are recycled, not re-boxed. This
+// is the property the typed heap + freelist rewrite bought, so it is
+// asserted rather than merely benchmarked.
+func TestCalendarSteadyStateAllocs(t *testing.T) {
+	var c Calendar
+	fn := func() {}
+	churn := func() {
+		for i := 0; i < 64; i++ {
+			c.After(float64(i%7)+1, fn)
+		}
+		c.Run()
+	}
+	churn() // warm the heap capacity and freelist
+	if allocs := testing.AllocsPerRun(100, churn); allocs > 0 {
+		t.Errorf("steady-state calendar churn allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// BenchmarkCalendarChurn measures the schedule+drain cycle that every
+// simulated region goes through. Run with -benchmem: allocs/op is the
+// number to watch (0 at steady state with the freelist; 64+ with the
+// old container/heap interface{} boxing).
+func BenchmarkCalendarChurn(b *testing.B) {
+	var c Calendar
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			c.After(float64(j%7)+1, fn)
+		}
+		c.Run()
+	}
+}

@@ -17,8 +17,6 @@
 // instead of being assumed.
 package sim
 
-import "container/heap"
-
 // Event is an entry in the calendar.
 type Event struct {
 	Time float64 // simulated cycles
@@ -26,31 +24,70 @@ type Event struct {
 	Fn   func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (Time, Seq).
+// container/heap would force Push/Pop through interface{} and box every
+// *Event; the calendar is the hottest allocation site in a sweep, so the
+// sift loops are written out directly against the typed slice.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
 	return h[i].Seq < h[j].Seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *Event {
+	s := *h
+	n := len(s)
+	e := s[0]
+	s[0] = s[n-1]
+	s[n-1] = nil
+	s = s[:n-1]
+	*h = s
+	// Sift the relocated tail element down to its place.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(s) && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
 	return e
 }
 
 // Calendar is a time-ordered event queue. The zero value is ready to use.
+// Popped events are recycled through a freelist, so a calendar that is
+// reused across simulations (as the pooled machines in internal/harness
+// are) reaches a steady state where At allocates nothing.
 type Calendar struct {
-	h   eventHeap
-	now float64
-	seq int
+	h    eventHeap
+	now  float64
+	seq  int
+	free []*Event
 }
 
 // Now returns the current simulated time in cycles.
@@ -63,7 +100,16 @@ func (c *Calendar) At(t float64, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	c.seq++
-	heap.Push(&c.h, &Event{Time: t, Seq: c.seq, Fn: fn})
+	var e *Event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	e.Time, e.Seq, e.Fn = t, c.seq, fn
+	c.h.push(e)
 }
 
 // After schedules fn to run d cycles from now.
@@ -78,9 +124,12 @@ func (c *Calendar) Step() bool {
 	if len(c.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&c.h).(*Event)
+	e := c.h.pop()
 	c.now = e.Time
-	e.Fn()
+	fn := e.Fn
+	e.Fn = nil // drop the closure before recycling so it can be collected
+	c.free = append(c.free, e)
+	fn()
 	return true
 }
 

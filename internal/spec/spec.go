@@ -51,7 +51,7 @@ type Run struct {
 	Workers  int    // host goroutines per simulated region (0 = auto)
 	Jobs     int    // concurrent experiment cells (0 = NumCPU)
 	Shard    string // "i/N" — run only that shard's cells (figures/profile)
-	CacheDir string // persistent input cache directory ("" = off)
+	CacheDir string // persistent input/result cache directory ("" = $PARGRAPH_CACHE, then off)
 }
 
 // Figures selects what cmd/figures regenerates and optionally overrides
@@ -72,8 +72,8 @@ type Figures struct {
 
 // Profile configures cmd/profile's single-kernel attribution run.
 type Profile struct {
-	Kernel   string  // fig1, fig2, prefix, treecon, coloring
-	Machine  string  // mta, smp, both
+	Kernel   string // fig1, fig2, prefix, treecon, coloring
+	Machine  string // mta, smp, both
 	N        int
 	Procs    int
 	Layout   string  // ordered, random
@@ -244,9 +244,6 @@ func (s *Spec) Validate() error {
 	sharded := r.Command == CmdFigures || r.Command == CmdProfile
 	if r.Shard != "" && !sharded {
 		return fmt.Errorf("spec: [run] shard does not apply to command %q", r.Command)
-	}
-	if r.CacheDir != "" && !sharded {
-		return fmt.Errorf("spec: [run] cache_dir does not apply to command %q", r.Command)
 	}
 
 	// A section the command never reads is a conflict, not dead weight:

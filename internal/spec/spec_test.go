@@ -8,11 +8,11 @@ import (
 // validSpecs holds one minimal valid spec per command; boundary cases
 // below are built by perturbing one field at a time.
 var validSpecs = map[string]string{
-	"figures": "[run]\ncommand = \"figures\"\n[figures]\nfig = 1\nformat = \"json\"\n",
-	"profile": "[run]\ncommand = \"profile\"\n[profile]\nkernel = \"fig1\"\n",
+	"figures":  "[run]\ncommand = \"figures\"\n[figures]\nfig = 1\nformat = \"json\"\n",
+	"profile":  "[run]\ncommand = \"profile\"\n[profile]\nkernel = \"fig1\"\n",
 	"coloring": "[run]\ncommand = \"coloring\"\n[workload]\ngen = \"rmat\"\nn = 1024\nm = 4096\n",
 	"listrank": "[run]\ncommand = \"listrank\"\n[workload]\nn = 4096\nlayout = \"random\"\n",
-	"concomp": "[run]\ncommand = \"concomp\"\n[workload]\ngen = \"gnm\"\nn = 1024\nm = 2048\n",
+	"concomp":  "[run]\ncommand = \"concomp\"\n[workload]\ngen = \"gnm\"\nn = 1024\nm = 2048\n",
 }
 
 func TestValidSpecs(t *testing.T) {
@@ -66,7 +66,6 @@ func TestBoundaries(t *testing.T) {
 		{"shard-zero-count", "[run]\nshard = \"0/0\"\n[figures]\nall = true\nformat = \"json\"\n", `spec: [run] shard count must be >= 1, got 0`},
 		{"shard-index-high", "[run]\nshard = \"4/4\"\n[figures]\nall = true\nformat = \"json\"\n", `spec: [run] shard index must satisfy 0 <= i < 4, got 4`},
 		{"shard-on-coloring", "[run]\ncommand = \"coloring\"\nshard = \"0/2\"\n", `spec: [run] shard does not apply to command "coloring"`},
-		{"cache-on-listrank", "[run]\ncommand = \"listrank\"\ncache_dir = \"/tmp/c\"\n", `spec: [run] cache_dir does not apply to command "listrank"`},
 
 		// ---- cross-section conflicts ----
 		{"profile-section-for-figures", "[figures]\nall = true\n[profile]\nn = 64\n", `spec: section [profile] does not apply to command "figures"`},

@@ -71,3 +71,21 @@ func UnionFindKey(graphKey string) string { return graphKey + "/unionfind" }
 // SpecRefKey addresses the host speculative-coloring reference derived
 // from the graph stored under graphKey.
 func SpecRefKey(graphKey string) string { return graphKey + "/specref" }
+
+// ResultKey addresses one memoized sweep-cell result: the outcome of
+// simulating one cell of one experiment sweep. costVersion is
+// sim.CostSchemaVersion — the cost semantics of the simulator stack at
+// the time the result was computed — so bumping that constant strands
+// every cached result at once. cell is the canonical result-relevant
+// cell config (experiment, machine parameters, seeds, trace mode;
+// never execution knobs like jobs or shard), and inputs are the
+// content keys of the cached inputs the cell consumed. Each component
+// is length-framed so no two (cell, inputs) combinations can collide
+// by concatenation.
+func ResultKey(costVersion int, cell string, inputs ...string) string {
+	key := fmt.Sprintf("result/c%d/%d:%s", costVersion, len(cell), cell)
+	for _, in := range inputs {
+		key += fmt.Sprintf("|%d:%s", len(in), in)
+	}
+	return key
+}

@@ -30,6 +30,9 @@ func TestKeyProducers(t *testing.T) {
 		{"dimacs", DIMACSKey("data/g.dimacs"), "dimacs/data/g.dimacs"},
 		{"unionfind", UnionFindKey(GnmKey(10, 20, 1)), "gnm/10/20/1/unionfind"},
 		{"specref", SpecRefKey(RMATKey(11, 100, 2)), "rmat/11/100/2/specref"},
+		{"result-no-inputs", ResultKey(1, "fig1/p=2"), "result/c1/8:fig1/p=2"},
+		{"result", ResultKey(2, "fig2/n=4096", GnmKey(10, 20, 1), UnionFindKey(GnmKey(10, 20, 1))),
+			"result/c2/11:fig2/n=4096|11:gnm/10/20/1|21:gnm/10/20/1/unionfind"},
 	}
 	for _, c := range cases {
 		if c.got != c.want {
@@ -44,7 +47,7 @@ func TestKeyProducers(t *testing.T) {
 // never drift. The pattern catches a format string or literal that
 // starts with one of the key namespaces followed by '/'.
 func TestNoInlineKeyConstruction(t *testing.T) {
-	inline := regexp.MustCompile(`"(list|gnm|rmat|mesh2d|mesh3d|torus2d|expr|prefix)/`)
+	inline := regexp.MustCompile(`"(list|gnm|rmat|mesh2d|mesh3d|torus2d|expr|prefix|result)/`)
 	for _, dir := range []string{"../harness", "../runner"} {
 		ents, err := os.ReadDir(dir)
 		if err != nil {

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"sort"
+
+	"pargraph/internal/binenc"
+)
+
+// Binary codec for []Event, used by the result cache
+// (internal/harness) to persist a memoized sweep cell's trace alongside
+// its row: a warm cell must replay the exact events the cold run
+// emitted, or the rendered Chrome trace / attribution artifacts would
+// drift from the report they accompany. The encoding follows
+// internal/binenc's conventions — little-endian, length-prefixed,
+// decoders return ok=false instead of panicking — and preserves the
+// nil-versus-empty distinction for ProcBusy and Samples, which the
+// renderers treat differently. Attr maps are written in sorted key
+// order so equal event sets encode to equal bytes.
+
+// AppendEvents appends a length-prefixed encoding of evs to buf.
+func AppendEvents(buf []byte, evs []Event) []byte {
+	buf = binenc.AppendUint64(buf, uint64(len(evs)))
+	for i := range evs {
+		buf = appendEvent(buf, &evs[i])
+	}
+	return buf
+}
+
+// ConsumeEvents reads a length-prefixed []Event off the front of b.
+func ConsumeEvents(b []byte) ([]Event, []byte, bool) {
+	n, b, ok := binenc.ConsumeUint64(b)
+	if !ok || n > uint64(len(b)) { // every event costs well over one byte
+		return nil, nil, false
+	}
+	evs := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Event
+		e, b, ok = consumeEvent(b)
+		if !ok {
+			return nil, nil, false
+		}
+		evs = append(evs, e)
+	}
+	return evs, b, true
+}
+
+func appendEvent(buf []byte, e *Event) []byte {
+	buf = binenc.AppendString(buf, e.Machine)
+	buf = binenc.AppendString(buf, e.Kind)
+	buf = binenc.AppendUint64(buf, uint64(e.Seq))
+	buf = binenc.AppendUint64(buf, uint64(e.Items))
+	buf = binenc.AppendFloat64(buf, e.Start)
+	buf = binenc.AppendFloat64(buf, e.Cycles)
+	buf = binenc.AppendUint64(buf, uint64(e.Procs))
+	buf = binenc.AppendFloat64(buf, e.ClockMHz)
+	buf = binenc.AppendFloat64(buf, e.Issued)
+	if e.Attr == nil {
+		buf = binenc.AppendUint64(buf, 0)
+	} else {
+		buf = binenc.AppendUint64(buf, uint64(len(e.Attr))+1)
+		keys := make([]string, 0, len(e.Attr))
+		for k := range e.Attr {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = binenc.AppendString(buf, k)
+			buf = binenc.AppendFloat64(buf, e.Attr[k])
+		}
+	}
+	buf = binenc.AppendFloat64s(buf, e.ProcBusy)
+	buf = binenc.AppendFloat64s(buf, e.Samples)
+	buf = binenc.AppendFloat64(buf, e.SampleCy)
+	return buf
+}
+
+func consumeEvent(b []byte) (Event, []byte, bool) {
+	var e Event
+	var ok bool
+	var u uint64
+	if e.Machine, b, ok = binenc.ConsumeString(b); !ok {
+		return e, nil, false
+	}
+	if e.Kind, b, ok = binenc.ConsumeString(b); !ok {
+		return e, nil, false
+	}
+	if u, b, ok = binenc.ConsumeUint64(b); !ok {
+		return e, nil, false
+	}
+	e.Seq = int(u)
+	if u, b, ok = binenc.ConsumeUint64(b); !ok {
+		return e, nil, false
+	}
+	e.Items = int(u)
+	if e.Start, b, ok = binenc.ConsumeFloat64(b); !ok {
+		return e, nil, false
+	}
+	if e.Cycles, b, ok = binenc.ConsumeFloat64(b); !ok {
+		return e, nil, false
+	}
+	if u, b, ok = binenc.ConsumeUint64(b); !ok {
+		return e, nil, false
+	}
+	e.Procs = int(u)
+	if e.ClockMHz, b, ok = binenc.ConsumeFloat64(b); !ok {
+		return e, nil, false
+	}
+	if e.Issued, b, ok = binenc.ConsumeFloat64(b); !ok {
+		return e, nil, false
+	}
+	if u, b, ok = binenc.ConsumeUint64(b); !ok {
+		return e, nil, false
+	}
+	if u > 0 {
+		n := u - 1
+		if n > uint64(len(b)) {
+			return e, nil, false
+		}
+		e.Attr = make(map[string]float64, n)
+		for i := uint64(0); i < n; i++ {
+			var k string
+			var v float64
+			if k, b, ok = binenc.ConsumeString(b); !ok {
+				return e, nil, false
+			}
+			if v, b, ok = binenc.ConsumeFloat64(b); !ok {
+				return e, nil, false
+			}
+			e.Attr[k] = v
+		}
+	}
+	if e.ProcBusy, b, ok = binenc.ConsumeFloat64s(b); !ok {
+		return e, nil, false
+	}
+	if e.Samples, b, ok = binenc.ConsumeFloat64s(b); !ok {
+		return e, nil, false
+	}
+	if e.SampleCy, b, ok = binenc.ConsumeFloat64(b); !ok {
+		return e, nil, false
+	}
+	return e, b, true
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func codecFixture() []Event {
+	return []Event{
+		{
+			Machine: "MTA", Kind: "parallel", Seq: 0, Items: 1024,
+			Start: 0, Cycles: 2048.5, Procs: 8, ClockMHz: 220,
+			Issued: 9000.25,
+			Attr:   map[string]float64{CatIssue: 9000.25, CatMemStall: 500, CatHotspot: 12.5},
+			// nil ProcBusy (MTA regions leave it nil), sampled timeline
+			Samples: []float64{1, 2, 3.5}, SampleCy: 512,
+		},
+		{
+			Machine: "SMP", Kind: "phase", Seq: 1, Items: 0,
+			Start: 100, Cycles: 50, Procs: 4, ClockMHz: 400,
+			Issued:   180,
+			Attr:     map[string]float64{CatCompute: 100, CatMem: 80},
+			ProcBusy: []float64{50, 45, 44, 41},
+		},
+		{
+			// Degenerate event: nil Attr, empty (non-nil) ProcBusy — the
+			// codec must keep nil and empty distinct.
+			Machine: "SMP", Kind: "barrier", Seq: 2,
+			ProcBusy: []float64{},
+		},
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	want := codecFixture()
+	buf := AppendEvents(nil, want)
+	got, rest, ok := ConsumeEvents(buf)
+	if !ok {
+		t.Fatal("decode failed on a valid encoding")
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over after decode", len(rest))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got[0].ProcBusy != nil {
+		t.Error("nil ProcBusy decoded non-nil")
+	}
+	if got[2].ProcBusy == nil {
+		t.Error("empty ProcBusy decoded nil")
+	}
+	if got[2].Attr != nil {
+		t.Error("nil Attr decoded non-nil")
+	}
+}
+
+func TestEventCodecDeterministic(t *testing.T) {
+	a := AppendEvents(nil, codecFixture())
+	b := AppendEvents(nil, codecFixture())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two encodings of equal events differ (map order leaked into the bytes)")
+	}
+}
+
+func TestEventCodecTruncation(t *testing.T) {
+	full := AppendEvents(nil, codecFixture())
+	for n := 0; n < len(full); n++ {
+		if _, _, ok := ConsumeEvents(full[:n]); ok {
+			t.Fatalf("decode reported ok on a %d-byte truncation of a %d-byte encoding", n, len(full))
+		}
+	}
+	if _, _, ok := ConsumeEvents(nil); ok {
+		t.Fatal("decode reported ok on nil input")
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Runs BenchmarkSweepScaling (the experiment scheduler's Jobs sweep over
-# the E1 list-ranking and E8 coloring harness sweeps) and writes
-# BENCH_sweeps.json with a provenance meta block, ns/op per benchmark,
-# and each configuration's speedup over the same workload at jobs=1.
+# the E1 list-ranking and E8 coloring harness sweeps) and
+# BenchmarkWarmSweep (the E1 sweep cold vs warm against the result
+# cache) and writes BENCH_sweeps.json with a provenance meta block,
+# ns/op per benchmark, and each configuration's speedup over the same
+# workload at jobs=1.
 # Each benchmark runs -count 3 and the minimum ns/op is kept — the
 # standard noise-robust statistic on shared machines. Note the scheduler
 # caps jobs at GOMAXPROCS, so on hosts with fewer cores than the swept
@@ -27,7 +29,7 @@ cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 # should say which it was.
 gomaxprocs=${GOMAXPROCS:-$cores}
 
-go test -run '^$' -bench 'BenchmarkSweepScaling' \
+go test -run '^$' -bench 'BenchmarkSweepScaling|BenchmarkWarmSweep' \
     -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" \
     -benchtime 1x -count 3 . | tee "$raw"
 

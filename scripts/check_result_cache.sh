@@ -1,0 +1,88 @@
+#!/bin/sh
+# CI gate for the result cache: against a shared cache directory, a warm
+# re-run of each sweep (fig1, fig2, table1, coloring) must emit
+# byte-identical stdout to the cold run, the cold and warm manifests
+# must agree on the spec hash, and the warm run's result store must
+# report zero misses — no cell re-simulated. The warm fig1 sweep must
+# also be at least 5x faster than the cold one (the measured margin is
+# orders of magnitude; 5x just guards against the cache silently
+# degrading to recompute-always).
+#
+# Usage: scripts/check_result_cache.sh
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+commit=$(sh "$root/scripts/version.sh")
+bin="$work/bin"
+mkdir -p "$bin"
+(cd "$root" && go build -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" -o "$bin" ./cmd/figures)
+
+cache="$work/cache"
+fail=0
+
+now_ns() { date +%s%N; }
+
+spec_hash() { sed -n 's/.*"spec_sha256": "\([0-9a-f]*\)".*/\1/p' "$1"; }
+
+# check <name> <figures args...>: cold run primes the cache, warm run
+# must replay it exactly.
+check() {
+    name=$1
+    shift
+    dir="$work/$name"
+    mkdir -p "$dir"
+    t0=$(now_ns)
+    "$bin/figures" "$@" -cache-dir "$cache" -emit-manifest "$dir/cold.manifest.json" >"$dir/cold.out" 2>/dev/null
+    t1=$(now_ns)
+    "$bin/figures" "$@" -cache-dir "$cache" -cache-stats -emit-manifest "$dir/warm.manifest.json" >"$dir/warm.out" 2>"$dir/warm.stats"
+    t2=$(now_ns)
+
+    if ! cmp -s "$dir/cold.out" "$dir/warm.out"; then
+        echo "FAIL: $name: warm stdout differs from cold"
+        fail=1
+        return
+    fi
+    if [ "$(spec_hash "$dir/cold.manifest.json")" != "$(spec_hash "$dir/warm.manifest.json")" ]; then
+        echo "FAIL: $name: cold and warm manifests disagree on the spec hash"
+        fail=1
+        return
+    fi
+    stats=$(grep '^result cache' "$dir/warm.stats" || true)
+    case $stats in
+    *" misses=0 "*) ;;
+    *)
+        echo "FAIL: $name: warm run re-simulated cells: $stats"
+        fail=1
+        return
+        ;;
+    esac
+    case $stats in
+    *"hits=0 "*)
+        echo "FAIL: $name: warm run recorded no result-cache hits: $stats"
+        fail=1
+        return
+        ;;
+    esac
+
+    extra=""
+    if [ "$name" = fig1 ]; then
+        speedup=$(awk -v c=$((t1 - t0)) -v w=$((t2 - t1)) 'BEGIN { printf "%.1f", (w > 0) ? c / w : 999 }')
+        if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5) }'; then
+            echo "FAIL: fig1: warm run only ${speedup}x faster than cold (need >= 5x)"
+            fail=1
+            return
+        fi
+        extra=" (warm ${speedup}x faster)"
+    fi
+    echo "ok: $name$extra"
+}
+
+check fig1     -fig 1 -json
+check fig2     -fig 2 -json
+check table1   -table 1 -json
+check coloring -exp coloring -json
+
+exit $fail
