@@ -6,7 +6,7 @@ GO ?= go
 COMMIT := $(shell sh scripts/version.sh)
 LDFLAGS = -X pargraph/internal/cmdutil.Commit=$(COMMIT)
 
-.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence check-reproducibility check-result-cache cache-clean verify
+.PHONY: build test race vet bench-simulators check-host-scaling bench-sweeps check-sweep-scaling check-shard-equivalence check-reproducibility check-result-cache check-serve cache-clean verify
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -15,10 +15,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the simulator packages, the kernels that replay on them,
-# the cross-process disk cache, and the spec/manifest/runner layers
-# that drive them from experiment specs.
+# the cross-process disk cache, the spec/manifest/runner layers that
+# drive them from experiment specs, and the job-queue/HTTP layer that
+# serves them.
 race:
-	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/ ./internal/coloring/ ./internal/diskcache/ ./internal/spec/ ./internal/manifest/ ./internal/runner/
+	$(GO) test -race ./internal/par/ ./internal/mta/ ./internal/smp/ ./internal/sim/ ./internal/sweep/ ./internal/harness/ ./internal/listrank/ ./internal/concomp/ ./internal/treecon/ ./internal/coloring/ ./internal/diskcache/ ./internal/spec/ ./internal/manifest/ ./internal/runner/ ./internal/jobqueue/ ./internal/serve/
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +62,12 @@ check-reproducibility:
 # or fails to make the fig1 sweep at least 5x faster.
 check-result-cache:
 	sh scripts/check_result_cache.sh
+
+# Fail if cmd/serve's HTTP artifacts are not byte-identical to the CLI
+# run of the same spec, a repeated job re-simulates any cell, or a
+# SIGTERM does not drain the server to a clean exit.
+check-serve:
+	sh scripts/check_serve.sh
 
 # Empty the persistent input/result cache the experiment commands use
 # when -cache-dir or $PARGRAPH_CACHE points at one. Entries are

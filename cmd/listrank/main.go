@@ -40,6 +40,8 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "accepted for sweep-tool parity (cmd/figures runs cells concurrently); this command runs a single cell")
 		cacheDir = flag.String("cache-dir", "", "persist generated inputs and whole run results in a content-addressed cache at this directory (default $"+cmdutil.CacheEnv+"; empty = off)")
 		noResult = flag.Bool("no-result-cache", false, "with a cache attached, keep the input cache but disable whole-result memoization")
+		cacheSt  = flag.Bool("cache-stats", false, "print input- and result-cache hit/miss/byte counters to stderr after the run")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the cache directory's size; least-recently-used entries are pruned on overflow (0 = unbounded)")
 		manifest = flag.String("emit-manifest", "", "write a reproducibility manifest (spec hash, input keys, artifact hashes) to this file")
 	)
 	flag.Parse()
@@ -92,7 +94,7 @@ func main() {
 	if err := sp.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := runner.Run(sp, runner.Options{RegionTrace: *traceFl, NoResultCache: *noResult}); err != nil {
+	if err := runner.Run(sp, runner.Options{RegionTrace: *traceFl, NoResultCache: *noResult, CacheStats: *cacheSt, CacheMaxBytes: *cacheMax}); err != nil {
 		log.Fatal(err)
 	}
 }

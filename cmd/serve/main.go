@@ -1,0 +1,106 @@
+// Command serve runs the experiment stack as a long-lived HTTP
+// service: clients POST experiment specs (the same TOML cmd/figures
+// and friends accept via -spec) to /jobs, poll /jobs/{id}, and fetch
+// artifacts — byte-identical to what the CLI would have written — from
+// /jobs/{id}/artifacts/{name}. Every job shares the server's cache
+// directory, so a repeated spec replays from the result store without
+// simulating.
+//
+// Usage:
+//
+//	serve -addr :8080 -cache-dir /var/cache/pargraph
+//	curl --data-binary @specs/e1_fig1.toml localhost:8080/jobs
+//	curl localhost:8080/jobs/j1
+//	curl localhost:8080/jobs/j1/artifacts/report
+//
+// SIGINT/SIGTERM drains gracefully: in-flight jobs finish (bounded by
+// -drain-timeout), pending jobs fail, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pargraph/internal/cmdutil"
+	"pargraph/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address (use :0 to pick a free port; the chosen address is printed to stderr)")
+		cacheDir = flag.String("cache-dir", "", "shared input/result cache directory for every job (default $"+cmdutil.CacheEnv+"; empty = caching off, every job re-simulates)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the cache directory's size; least-recently-used entries are pruned on overflow (0 = unbounded)")
+		workers  = flag.Int("concurrency", 1, "job worker-pool size; spec execution is serialized process-wide, so keep 1 and let each job's [run] jobs fill the cores")
+		retain   = flag.Int("retain", 64, "finished jobs (with artifacts) kept queryable; oldest forgotten first (<0 = unbounded)")
+		maxBody  = flag.Int64("max-request-bytes", 1<<20, "largest accepted POST /jobs body")
+		drainT   = flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")
+	)
+	flag.Parse()
+	if *workers < 1 {
+		log.Fatalf("-concurrency must be >= 1, got %d", *workers)
+	}
+	dir := *cacheDir
+	if dir == "" {
+		dir = os.Getenv(cmdutil.CacheEnv)
+	}
+
+	s := serve.New(serve.Config{
+		CacheDir:        dir,
+		CacheMaxBytes:   *cacheMax,
+		Concurrency:     *workers,
+		Retain:          *retain,
+		MaxRequestBytes: *maxBody,
+		Logf:            log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dir == "" {
+		log.Printf("cache off: jobs re-simulate every cell (set -cache-dir or $%s)", cmdutil.CacheEnv)
+	} else {
+		log.Printf("cache dir %s", dir)
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-done:
+		log.Fatal(err) // Serve only returns on failure before shutdown
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("shutting down: draining jobs (up to %s)", *drainT)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	// Stop accepting connections first, then drain the queue; Shutdown
+	// waits for in-flight HTTP requests (polls) to complete.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v (in-flight jobs were canceled)", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("drained, exiting")
+}

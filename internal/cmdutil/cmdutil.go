@@ -6,6 +6,7 @@ package cmdutil
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -91,6 +92,19 @@ func OpenCache(flagValue, schema string) (*diskcache.Store, error) {
 		return nil, fmt.Errorf("opening input cache: %w", err)
 	}
 	return s, nil
+}
+
+// PrintCacheStats reports one store's traffic counters in the -cache-stats
+// stderr format every experiment command shares. A nil store prints the
+// cache as off, so callers can pass their store handles unconditionally.
+func PrintCacheStats(w io.Writer, name string, s *diskcache.Store) {
+	if s == nil {
+		fmt.Fprintf(w, "%s cache: off\n", name)
+		return
+	}
+	st := s.Stats()
+	fmt.Fprintf(w, "%s cache (%s): hits=%d misses=%d rejects=%d puts=%d prunes=%d read=%dB written=%dB\n",
+		name, s.Dir(), st.Hits, st.Misses, st.Rejects, st.Puts, st.Prunes, st.BytesRead, st.BytesWritten)
 }
 
 // CheckPositive rejects non-positive values of a size flag.

@@ -70,6 +70,7 @@ type Store struct {
 	misses       atomic.Int64
 	puts         atomic.Int64
 	rejects      atomic.Int64
+	prunes       atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 
@@ -80,12 +81,13 @@ type Store struct {
 // Stats counts this handle's cache traffic (not the directory's —
 // other processes keep their own counters).
 type Stats struct {
-	Hits         int64 // Get found a valid entry
-	Misses       int64 // Get found nothing addressed by the key
-	Puts         int64 // entries written
-	Rejects      int64 // Get found a file but rejected it (truncated, corrupt, or foreign)
-	BytesRead    int64 // entry bytes read back on hits
-	BytesWritten int64 // entry bytes written by puts
+	Hits         int64 `json:"hits"`          // Get found a valid entry
+	Misses       int64 `json:"misses"`        // Get found nothing addressed by the key
+	Puts         int64 `json:"puts"`          // entries written
+	Rejects      int64 `json:"rejects"`       // Get found a file but rejected it (truncated, corrupt, or foreign)
+	Prunes       int64 `json:"prunes"`        // entries removed by SetMaxBytes pruning
+	BytesRead    int64 `json:"bytes_read"`    // entry bytes read back on hits
+	BytesWritten int64 `json:"bytes_written"` // entry bytes written by puts
 }
 
 // Open creates (if needed) and returns the store rooted at dir, with
@@ -106,11 +108,15 @@ func Open(dir, schema string) (*Store, error) {
 
 // SetMaxBytes installs a best-effort size cap on the store's directory:
 // when a Put pushes the directory (all entry files, whatever schema
-// wrote them) past n bytes, the oldest entries by mtime are removed
-// until it fits, never touching the entry just written. Zero means
-// unbounded. Call once after Open, before the store is shared; the cap
-// is advisory — a single entry larger than n, or concurrent writers in
-// other processes, can leave the directory temporarily over it.
+// wrote them) past n bytes, the least-recently-used entries are removed
+// until it fits, never touching the entry just written. Recency is
+// approximated by file mtime: a Put stamps it and a valid Get refreshes
+// it (see Get's throttle), so pruning walks oldest-mtime-first and a
+// frequently-hit entry outlives a cold one that was written after it.
+// Zero means unbounded. Call once after Open, before the store is
+// shared; the cap is advisory — a single entry larger than n, or
+// concurrent writers in other processes, can leave the directory
+// temporarily over it.
 func (s *Store) SetMaxBytes(n int64) { s.maxBytes = n }
 
 // Dir returns the store's root directory.
@@ -134,13 +140,25 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+".pgc")
 }
 
+// mtimeRefreshInterval throttles Get's mtime refresh: an entry whose
+// mtime is already this recent is left alone, so a warm sweep hitting
+// one entry thousands of times pays at most one utimensat per entry per
+// interval instead of a syscall per hit.
+const mtimeRefreshInterval = time.Minute
+
 // Get returns the payload stored under key, or ok=false on a miss. A
 // file that exists but fails validation — wrong magic, wrong schema or
 // key, truncated, or failing its checksum — is reported as a miss (and
 // counted as a reject), since the contract is "rebuild on anything
 // suspect".
+//
+// A valid hit refreshes the entry's mtime (best-effort, throttled by
+// mtimeRefreshInterval) so SetMaxBytes pruning approximates LRU:
+// without the refresh, "oldest mtime first" is FIFO by write time and
+// evicts the hottest entries before cold ones.
 func (s *Store) Get(key string) ([]byte, bool) {
-	raw, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -150,9 +168,24 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.rejects.Add(1)
 		return nil, false
 	}
+	s.touch(path)
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(raw)))
 	return payload, true
+}
+
+// touch marks the entry at path recently used. Best-effort: the entry
+// may have been pruned or replaced since it was read, and a store on a
+// read-only filesystem cannot stamp at all — every failure is ignored,
+// costing at worst one eviction-order inaccuracy.
+func (s *Store) touch(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if now := time.Now(); now.Sub(info.ModTime()) >= mtimeRefreshInterval {
+		os.Chtimes(path, now, now)
+	}
 }
 
 // Put stores payload under key, atomically: concurrent readers of the
@@ -188,6 +221,7 @@ func (s *Store) Put(key string, payload []byte) error {
 }
 
 // prune scans the directory and removes entry files oldest-mtime-first
+// — approximate LRU, since Get refreshes the mtime of entries it hits —
 // until the total fits under maxBytes, sparing keep (the entry whose Put
 // triggered the scan). All failures are swallowed: the cap is a
 // housekeeping promise, not a correctness one.
@@ -226,6 +260,7 @@ func (s *Store) prune(keep string) {
 		}
 		if os.Remove(f.path) == nil {
 			total -= f.size
+			s.prunes.Add(1)
 		}
 	}
 	s.approxSize.Store(total)
@@ -238,6 +273,7 @@ func (s *Store) Stats() Stats {
 		Misses:       s.misses.Load(),
 		Puts:         s.puts.Load(),
 		Rejects:      s.rejects.Load(),
+		Prunes:       s.prunes.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
 	}

@@ -258,13 +258,15 @@ func (rc *runCtx) runFigures() error {
 	// from the whole-run recorder; the manifest records them in that
 	// same order.
 	if sp.Output.Report != "" {
-		if err := writeFile(sp.Output.Report, buf.Bytes()); err != nil {
+		if err := rc.emit("report", sp.Output.Report, buf.Bytes(), ""); err != nil {
 			return err
 		}
-	} else if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
-		return err
+	} else {
+		if _, err := o.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		rc.record("report", "", buf.Bytes())
 	}
-	rc.record("report", sp.Output.Report, buf.Bytes())
 
 	if rec != nil {
 		if sp.Output.Trace != "" {
@@ -272,22 +274,18 @@ func (rc *runCtx) runFigures() error {
 			if err := rec.WriteChromeTrace(&tb); err != nil {
 				return err
 			}
-			if err := writeFile(sp.Output.Trace, tb.Bytes()); err != nil {
+			if err := rc.emit("trace", sp.Output.Trace, tb.Bytes(), "wrote Chrome trace to %s\n"); err != nil {
 				return err
 			}
-			rc.record("trace", sp.Output.Trace, tb.Bytes())
-			fmt.Fprintf(o.Stderr, "wrote Chrome trace to %s\n", sp.Output.Trace)
 		}
 		if sp.Output.Attr != "" {
 			var ab bytes.Buffer
 			if err := rec.WriteAttributionCSV(&ab); err != nil {
 				return err
 			}
-			if err := writeFile(sp.Output.Attr, ab.Bytes()); err != nil {
+			if err := rc.emit("attr", sp.Output.Attr, ab.Bytes(), "wrote attribution CSV to %s\n"); err != nil {
 				return err
 			}
-			rc.record("attr", sp.Output.Attr, ab.Bytes())
-			fmt.Fprintf(o.Stderr, "wrote attribution CSV to %s\n", sp.Output.Attr)
 		}
 	}
 

@@ -58,12 +58,10 @@ func (rc *runCtx) runProfile() error {
 		if err := res.Recorder.WriteChromeTrace(&tb); err != nil {
 			return err
 		}
-		if err := writeFile(sp.Output.Trace, tb.Bytes()); err != nil {
+		// Status goes to stderr so stdout stays byte-comparable across runs.
+		if err := rc.emit("trace", sp.Output.Trace, tb.Bytes(), "wrote Chrome trace to %s (open in about://tracing or ui.perfetto.dev)\n"); err != nil {
 			return err
 		}
-		rc.record("trace", sp.Output.Trace, tb.Bytes())
-		// Status goes to stderr so stdout stays byte-comparable across runs.
-		fmt.Fprintf(o.Stderr, "wrote Chrome trace to %s (open in about://tracing or ui.perfetto.dev)\n", sp.Output.Trace)
 	}
 	return nil
 }

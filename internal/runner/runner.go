@@ -15,9 +15,11 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/diskcache"
@@ -78,22 +80,91 @@ func LoadSpec(path, command string) (*spec.Spec, error) {
 	return sp, nil
 }
 
+// Artifact is one produced output with its rendered bytes retained in
+// memory. Name is the artifact's role (report, stdout, trace, attr,
+// manifest); Path is where the spec would have written it, "" meaning
+// it would have gone to standard output.
+type Artifact struct {
+	Name string
+	Path string
+	Data []byte
+}
+
+// Result is what a collected run (RunContext) hands back: every
+// artifact the CLI would have written, the run's decoded provenance
+// manifest, and the run's own cache traffic.
+type Result struct {
+	Artifacts []Artifact
+	// Manifest is the run's reproducibility record (always built for
+	// collected runs): spec hash, input content keys, artifact hashes,
+	// and — when the result cache was consulted — each sweep cell's
+	// computed-vs-cache provenance.
+	Manifest *manifest.Manifest
+	// InputStats / ResultStats are this run's disk-cache counters
+	// (zero-valued when the respective store is off).
+	InputStats, ResultStats diskcache.Stats
+}
+
+// Artifact returns the artifact with the given role name, or nil.
+func (r *Result) Artifact(name string) *Artifact {
+	for i := range r.Artifacts {
+		if r.Artifacts[i].Name == name {
+			return &r.Artifacts[i]
+		}
+	}
+	return nil
+}
+
+// execMu serializes spec execution process-wide. The harness
+// configuration (Shard, CacheStore, Jobs, hooks, ...) is process-global
+// state that run saves, mutates, and restores; two interleaved runs
+// would see each other's settings. The CLI never hits this (one run per
+// process), but a long-running embedder (cmd/serve) may accept jobs
+// concurrently — they execute one at a time, each using the sweep
+// scheduler's own cell parallelism (Run.Jobs) to fill the host's cores.
+var execMu sync.Mutex
+
 // Run executes a validated spec. The caller must have called
-// sp.Validate; Run trusts the spec's invariants.
+// sp.Validate; Run trusts the spec's invariants. Cancellation follows
+// the harness Interrupt context the cmds install (signal.NotifyContext).
 func Run(sp *spec.Spec, o Options) error {
+	_, err := run(nil, sp, o, false)
+	return err
+}
+
+// RunContext executes a validated spec under ctx and collects every
+// artifact in memory instead of writing files: the entry point for
+// embedding the runner in a long-running process (cmd/serve), where a
+// job's artifacts are served back over HTTP rather than landing in the
+// server's working directory — a client-supplied spec never touches the
+// server's filesystem outside the cache directory. The provenance
+// manifest is always built, whether or not the spec names one; ctx
+// cancellation stops sweeps at the next cell boundary.
+func RunContext(ctx context.Context, sp *spec.Spec, o Options) (*Result, error) {
+	return run(ctx, sp, o, true)
+}
+
+func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, error) {
 	if o.Stdout == nil {
 		o.Stdout = os.Stdout
 	}
 	if o.Stderr == nil {
 		o.Stderr = os.Stderr
 	}
-	if o.RegionTrace && sp.Output.Manifest != "" {
-		return fmt.Errorf("-trace changes the stdout bytes per run; it cannot be combined with -emit-manifest")
+	if o.RegionTrace && (sp.Output.Manifest != "" || collect) {
+		return nil, fmt.Errorf("-trace changes the stdout bytes per run; it cannot be combined with -emit-manifest")
+	}
+	if collect && o.DumpGraph != "" {
+		return nil, fmt.Errorf("collected runs write no files; -out is not available")
 	}
 
+	execMu.Lock()
+	defer execMu.Unlock()
+
 	// The harness globals are process-wide; save and restore them so
-	// Run composes with tests (and any future embedding) that call it
+	// run composes with tests (and any future embedding) that call it
 	// repeatedly in one process.
+	savedInterrupt := harness.Interrupt
 	savedShard := harness.Shard
 	savedCache := harness.CacheStore
 	savedResults := harness.ResultStore
@@ -104,6 +175,7 @@ func Run(sp *spec.Spec, o Options) error {
 	savedPartials := harness.PartialTraces
 	savedSink := harness.TraceSink
 	defer func() {
+		harness.Interrupt = savedInterrupt
 		harness.Shard = savedShard
 		harness.CacheStore = savedCache
 		harness.ResultStore = savedResults
@@ -115,15 +187,25 @@ func Run(sp *spec.Spec, o Options) error {
 		harness.TraceSink = savedSink
 	}()
 
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		harness.Interrupt = ctx
+	}
+
 	shard, err := cmdutil.ParseShard(sp.Run.Shard)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if collect && shard.Active() {
+		return nil, fmt.Errorf("sharded runs emit partial envelopes, not artifacts; collected runs cannot shard")
 	}
 	harness.Shard = shard
 	harness.HostWorkers = sp.Run.Workers
 	jobs, err := cmdutil.ResolveJobs(sp.Run.Jobs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	harness.Jobs = jobs
 
@@ -133,14 +215,14 @@ func Run(sp *spec.Spec, o Options) error {
 	// version plus the cell's configuration and input content keys).
 	inputStore, err := cmdutil.OpenCache(sp.Run.CacheDir, harness.InputSchema)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	harness.CacheStore = inputStore
 	var resultStore *diskcache.Store
 	if !o.NoResultCache {
 		resultStore, err = cmdutil.OpenCache(sp.Run.CacheDir, harness.ResultSchema)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	harness.ResultStore = resultStore
@@ -154,8 +236,8 @@ func Run(sp *spec.Spec, o Options) error {
 		}
 	}
 
-	rc := &runCtx{sp: sp, o: &o}
-	if sp.Output.Manifest != "" {
+	rc := &runCtx{sp: sp, o: &o, collect: collect}
+	if sp.Output.Manifest != "" || collect {
 		rc.mlog = &manifest.Log{}
 		harness.InputHook = rc.mlog.Add
 		harness.ResultHook = rc.mlog.AddResult
@@ -177,58 +259,102 @@ func Run(sp *spec.Spec, o Options) error {
 		err = rc.runConcomp()
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 
+	var result *Result
+	if collect {
+		result = &Result{}
+	}
 	if rc.mlog != nil && !shard.Active() {
 		m, err := rc.buildManifest()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := m.WriteFile(sp.Output.Manifest); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
+		if collect {
+			data, err := m.Encode()
+			if err != nil {
+				return nil, err
+			}
+			rc.keep("manifest", sp.Output.Manifest, data)
+			result.Manifest = m
+		} else {
+			if err := m.WriteFile(sp.Output.Manifest); err != nil {
+				return nil, fmt.Errorf("writing manifest: %w", err)
+			}
+			fmt.Fprintf(o.Stderr, "wrote manifest to %s\n", sp.Output.Manifest)
 		}
-		fmt.Fprintf(o.Stderr, "wrote manifest to %s\n", sp.Output.Manifest)
+	}
+	if collect {
+		result.Artifacts = rc.out
+		if inputStore != nil {
+			result.InputStats = inputStore.Stats()
+		}
+		if resultStore != nil {
+			result.ResultStats = resultStore.Stats()
+		}
 	}
 
 	if o.CacheStats {
-		printCacheStats(o.Stderr, "input", inputStore)
-		printCacheStats(o.Stderr, "result", resultStore)
+		cmdutil.PrintCacheStats(o.Stderr, "input", inputStore)
+		cmdutil.PrintCacheStats(o.Stderr, "result", resultStore)
 	}
-	return nil
-}
-
-// printCacheStats reports one store's traffic counters on stderr.
-func printCacheStats(w io.Writer, name string, s *diskcache.Store) {
-	if s == nil {
-		fmt.Fprintf(w, "%s cache: off\n", name)
-		return
-	}
-	st := s.Stats()
-	fmt.Fprintf(w, "%s cache (%s): hits=%d misses=%d rejects=%d puts=%d read=%dB written=%dB\n",
-		name, s.Dir(), st.Hits, st.Misses, st.Rejects, st.Puts, st.BytesRead, st.BytesWritten)
+	return result, nil
 }
 
 // runCtx is one run's mutable state: the spec, the output options, the
 // manifest input log (nil when no manifest was requested), and the
-// artifacts recorded so far.
+// artifacts recorded so far. With collect set, rendered artifact bytes
+// are retained in out instead of being written to their spec paths.
 type runCtx struct {
-	sp   *spec.Spec
-	o    *Options
-	mlog *manifest.Log
-	arts []manifest.Artifact
+	sp      *spec.Spec
+	o       *Options
+	mlog    *manifest.Log
+	arts    []manifest.Artifact
+	collect bool
+	out     []Artifact
+}
+
+// keep retains artifact bytes for the in-memory result without
+// recording them in the manifest — used for wall-clock outputs no
+// manifest can promise to reproduce, and for the manifest itself (which
+// cannot contain its own hash).
+func (rc *runCtx) keep(name, path string, data []byte) {
+	if rc.collect {
+		rc.out = append(rc.out, Artifact{Name: name, Path: path, Data: data})
+	}
 }
 
 // record notes a produced artifact (already-rendered bytes) for the
-// manifest. Call order defines the manifest's artifact order; each
-// sub-runner records in its fixed role order.
+// manifest and, when collecting, the in-memory result. Call order
+// defines the manifest's artifact order; each sub-runner records in its
+// fixed role order.
 func (rc *runCtx) record(name, path string, data []byte) {
+	rc.keep(name, path, data)
 	if rc.mlog == nil {
 		return
 	}
 	rc.arts = append(rc.arts, manifest.Artifact{
 		Name: name, Path: path, SHA256: manifest.HashBytes(data), Bytes: int64(len(data)),
 	})
+}
+
+// emit delivers one file-bound artifact: written to its path (unless
+// the run collects artifacts in memory, where nothing touches the
+// filesystem), noted on stderr with note ("wrote ... to %s\n"), and
+// recorded. Artifacts bound for stdout don't come through here — their
+// callers write o.Stdout and call record directly.
+func (rc *runCtx) emit(name, path string, data []byte, note string) error {
+	if !rc.collect {
+		if err := writeFile(path, data); err != nil {
+			return err
+		}
+		if note != "" {
+			fmt.Fprintf(rc.o.Stderr, note, path)
+		}
+	}
+	rc.record(name, path, data)
+	return nil
 }
 
 // buildManifest assembles the run's manifest from the input log and

@@ -148,28 +148,24 @@ func (rc *runCtx) traceArtifacts(rec *trace.Recorder) error {
 	if rec == nil {
 		return nil
 	}
-	sp, o := rc.sp, rc.o
+	sp := rc.sp
 	if sp.Output.Trace != "" {
 		var tb bytes.Buffer
 		if err := rec.WriteChromeTrace(&tb); err != nil {
 			return err
 		}
-		if err := writeFile(sp.Output.Trace, tb.Bytes()); err != nil {
+		if err := rc.emit("trace", sp.Output.Trace, tb.Bytes(), "wrote Chrome trace to %s\n"); err != nil {
 			return err
 		}
-		rc.record("trace", sp.Output.Trace, tb.Bytes())
-		fmt.Fprintf(o.Stderr, "wrote Chrome trace to %s\n", sp.Output.Trace)
 	}
 	if sp.Output.Attr != "" {
 		var ab bytes.Buffer
 		if err := rec.WriteAttributionCSV(&ab); err != nil {
 			return err
 		}
-		if err := writeFile(sp.Output.Attr, ab.Bytes()); err != nil {
+		if err := rc.emit("attr", sp.Output.Attr, ab.Bytes(), "wrote attribution CSV to %s\n"); err != nil {
 			return err
 		}
-		rc.record("attr", sp.Output.Attr, ab.Bytes())
-		fmt.Fprintf(o.Stderr, "wrote attribution CSV to %s\n", sp.Output.Attr)
 	}
 	return nil
 }
@@ -478,6 +474,10 @@ func (rc *runCtx) runListrank() error {
 	}
 	if deterministic {
 		rc.record("stdout", "", out)
+	} else {
+		// Wall-clock output: retained for collected runs (a served job's
+		// client still wants it) but never promised by a manifest.
+		rc.keep("stdout", "", out)
 	}
 	return nil
 }
@@ -643,6 +643,10 @@ func (rc *runCtx) runConcomp() error {
 	}
 	if deterministic {
 		rc.record("stdout", "", out)
+	} else {
+		// Wall-clock output: retained for collected runs (a served job's
+		// client still wants it) but never promised by a manifest.
+		rc.keep("stdout", "", out)
 	}
 	return nil
 }

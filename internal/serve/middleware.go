@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter remembers the status code for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware wraps the mux with panic recovery (a handler bug answers
+// 500, it does not take the server down) and one log line per request.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Only answer if the handler had not started one.
+				if sw.code == http.StatusOK {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+				return
+			}
+			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,127 @@
+#!/bin/sh
+# CI gate for cmd/serve: start the server on a free port, submit the
+# checked-in fig1 spec as a job, poll it to done, and require the HTTP
+# report artifact to be byte-identical to what cmd/figures -spec writes
+# for the same spec. A second submission of the same spec must replay
+# entirely from the shared result store (zero computed cells), and a
+# SIGTERM must drain the server to a clean exit 0.
+#
+# Usage: scripts/check_serve.sh
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+commit=$(sh "$root/scripts/version.sh")
+bin="$work/bin"
+mkdir -p "$bin"
+(cd "$root" && go build -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" -o "$bin" ./cmd/figures ./cmd/serve)
+
+spec="$root/specs/e1_fig1.toml"
+cache="$work/cache"
+fail=0
+
+# field <file> <key>: pull a scalar string/number field out of one of
+# the server's JSON responses (they are indented one key per line).
+field() { sed -n 's/^ *"'"$2"'": "\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -n 1; }
+
+# Reference bytes through the CLI path. The spec writes its report and
+# manifest relative to the working directory.
+mkdir -p "$work/cli"
+(cd "$work/cli" && "$bin/figures" -spec "$spec" -cache-dir "$work/clicache" >/dev/null 2>&1)
+[ -f "$work/cli/e1_fig1.json" ] || { echo "FAIL: CLI reference run wrote no report"; exit 1; }
+
+"$bin/serve" -addr localhost:0 -cache-dir "$cache" 2>"$work/server.log" &
+server_pid=$!
+
+# The chosen port is announced on stderr.
+port=""
+for _ in $(seq 50); do
+    port=$(sed -n 's#.*listening on http://[^:]*:\([0-9]*\)$#\1#p' "$work/server.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "FAIL: server never announced its port"; cat "$work/server.log"; exit 1; }
+base="http://localhost:$port"
+
+# submit <out>: POST the spec, print the job id.
+submit() {
+    curl -sS --fail-with-body --data-binary @"$spec" "$base/jobs" >"$1" || {
+        echo "FAIL: job submission rejected:"; cat "$1"; exit 1; }
+    field "$1" id
+}
+
+# poll <id> <out>: wait for the job to leave pending/running.
+poll() {
+    for _ in $(seq 300); do
+        curl -sS "$base/jobs/$1" >"$2"
+        case $(field "$2" state) in
+        done) return 0 ;;
+        failed) echo "FAIL: job $1 failed: $(field "$2" error)"; return 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "FAIL: job $1 never finished"
+    return 1
+}
+
+id=$(submit "$work/submit1.json")
+poll "$id" "$work/job1.json" || fail=1
+
+if [ "$fail" = 0 ]; then
+    curl -sS "$base/jobs/$id/artifacts/report" >"$work/http_report.json"
+    if cmp -s "$work/http_report.json" "$work/cli/e1_fig1.json"; then
+        echo "ok: HTTP report byte-identical to the CLI run"
+    else
+        echo "FAIL: HTTP report differs from CLI bytes"
+        fail=1
+    fi
+    computed=$(sed -n '/"cells"/,/}/s/^ *"computed": \([0-9]*\).*/\1/p' "$work/job1.json")
+    if [ -z "$computed" ] || [ "$computed" = 0 ]; then
+        echo "FAIL: first job should have computed cells, got '${computed:-none}'"
+        fail=1
+    fi
+fi
+
+# Second submission: pure cache replay — zero re-simulated cells, same
+# report bytes.
+id2=$(submit "$work/submit2.json")
+poll "$id2" "$work/job2.json" || fail=1
+if [ "$fail" = 0 ]; then
+    computed2=$(sed -n '/"cells"/,/}/s/^ *"computed": \([0-9]*\).*/\1/p' "$work/job2.json")
+    if [ "$computed2" = 0 ]; then
+        echo "ok: repeated job replayed every cell from the cache"
+    else
+        echo "FAIL: repeated job re-simulated $computed2 cells, want 0"
+        fail=1
+    fi
+    curl -sS "$base/jobs/$id2/artifacts/report" >"$work/http_report2.json"
+    cmp -s "$work/http_report2.json" "$work/cli/e1_fig1.json" || {
+        echo "FAIL: repeated job's report differs from CLI bytes"; fail=1; }
+fi
+
+# Metrics should reflect the two jobs.
+curl -sS "$base/metrics" >"$work/metrics.txt"
+grep -q '^jobs_done 2$' "$work/metrics.txt" || {
+    echo "FAIL: metrics do not report 2 done jobs:"; cat "$work/metrics.txt"; fail=1; }
+
+# Graceful shutdown: SIGTERM must drain to exit 0.
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" = 0 ]; then
+    echo "ok: SIGTERM drained the server to a clean exit"
+else
+    echo "FAIL: server exited $rc on SIGTERM"
+    cat "$work/server.log"
+    fail=1
+fi
+
+exit $fail
