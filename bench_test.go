@@ -7,10 +7,14 @@ package pargraph
 // the host time; EXPERIMENTS.md records the shapes.
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
 	"testing"
 
+	"pargraph/internal/cmdutil"
 	"pargraph/internal/coloring"
 	"pargraph/internal/concomp"
 	"pargraph/internal/diskcache"
@@ -22,9 +26,11 @@ import (
 	"pargraph/internal/msf"
 	"pargraph/internal/mta"
 	"pargraph/internal/rng"
+	"pargraph/internal/runner"
 	"pargraph/internal/sim"
 	"pargraph/internal/smp"
 	"pargraph/internal/spantree"
+	"pargraph/internal/spec"
 	"pargraph/internal/treecon"
 )
 
@@ -370,6 +376,59 @@ func BenchmarkWarmSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentJobs measures job-level parallelism — the axis
+// cmd/serve's -concurrency exposes now that every run carries its own
+// harness.Env instead of serializing on process globals. Four identical
+// cold fig1 runs execute through runner.RunContext with each run's own
+// cell scheduler pinned to jobs=1, so any speedup between conc=1 and
+// conc=4 comes purely from overlapping whole jobs, not from cells
+// inside one job. No cache directory is attached: every run simulates.
+// scripts/bench_sweeps.sh includes the conc=4/conc=1 ratio in
+// BENCH_sweeps.json.
+func BenchmarkConcurrentJobs(b *testing.B) {
+	b.Setenv(cmdutil.CacheEnv, "")
+	const specText = "[run]\ncommand = \"figures\"\nscale = \"small\"\njobs = 1\n" +
+		"[figures]\nfig = 1\nformat = \"json\"\n"
+	loadSpec := func() *spec.Spec {
+		sp, err := spec.Parse([]byte(specText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sp.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		return sp
+	}
+	const jobs = 4
+	for _, conc := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fig1x%d/conc=%d", jobs, conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sem := make(chan struct{}, conc)
+				errs := make(chan error, jobs)
+				var wg sync.WaitGroup
+				for j := 0; j < jobs; j++ {
+					sp := loadSpec()
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sem <- struct{}{}
+						defer func() { <-sem }()
+						if _, err := runner.RunContext(context.Background(), sp,
+							runner.Options{Stdout: io.Discard, Stderr: io.Discard}); err != nil {
+							errs <- err
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- E6/E7 extras -----------------------------------------------------

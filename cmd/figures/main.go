@@ -47,7 +47,6 @@ import (
 	"syscall"
 
 	"pargraph/internal/cmdutil"
-	"pargraph/internal/harness"
 	"pargraph/internal/runner"
 	"pargraph/internal/spec"
 )
@@ -138,7 +137,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	harness.Interrupt = ctx
 
 	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -152,6 +150,7 @@ func main() {
 	}()
 
 	opts := runner.Options{
+		Interrupt:     ctx,
 		WithTrace:     *withTr,
 		NoResultCache: *noResult,
 		CacheStats:    *cacheSt,

@@ -34,7 +34,6 @@ import (
 	"syscall"
 
 	"pargraph/internal/cmdutil"
-	"pargraph/internal/harness"
 	"pargraph/internal/runner"
 	"pargraph/internal/spec"
 )
@@ -111,7 +110,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	harness.Interrupt = ctx
 
 	stopCPU, err := cmdutil.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -125,6 +123,7 @@ func main() {
 	}()
 
 	opts := runner.Options{
+		Interrupt:     ctx,
 		NoResultCache: *noResult,
 		CacheStats:    *cacheSt,
 		CacheMaxBytes: *cacheMax,

@@ -41,7 +41,7 @@ func main() {
 		addr     = flag.String("addr", "localhost:8080", "listen address (use :0 to pick a free port; the chosen address is printed to stderr)")
 		cacheDir = flag.String("cache-dir", "", "shared input/result cache directory for every job (default $"+cmdutil.CacheEnv+"; empty = caching off, every job re-simulates)")
 		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the cache directory's size; least-recently-used entries are pruned on overflow (0 = unbounded)")
-		workers  = flag.Int("concurrency", 1, "job worker-pool size; spec execution is serialized process-wide, so keep 1 and let each job's [run] jobs fill the cores")
+		workers  = flag.Int("concurrency", 1, "jobs executed in parallel; specs that leave [run] jobs on auto are admitted with NumCPU/concurrency cell-level jobs so concurrent jobs split the cores")
 		retain   = flag.Int("retain", 64, "finished jobs (with artifacts) kept queryable; oldest forgotten first (<0 = unbounded)")
 		maxBody  = flag.Int64("max-request-bytes", 1<<20, "largest accepted POST /jobs body")
 		drainT   = flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")

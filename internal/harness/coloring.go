@@ -135,13 +135,13 @@ type specRef struct {
 // dynamics cell plus one timing cell per processor count, in sequential
 // order; the graph, its CSR, and the speculative reference are each
 // built once per input and shared across the cells.
-func RunColoring(params ColoringParams) (*ColoringResult, error) {
+func (e *Env) RunColoring(params ColoringParams) (*ColoringResult, error) {
 	inputs := coloringInputs(params)
 	nP := len(params.Procs)
 	stride := 1 + nP // cells per input: dynamics, then one per procs
 	dynamics := make([]ColoringDynamics, len(inputs))
 	rows := make([]ColoringRow, len(inputs)*nP)
-	_, err := runSweep(len(inputs)*stride, stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(inputs)*stride, e.stdOpts(), func(idx int, c *Cell) error {
 		in := inputs[idx/stride]
 		gi, name := idx/stride, in.name
 		g := cached(c, in.key, in.build)
@@ -299,7 +299,7 @@ func (r *ColoringResult) WriteCSV(w io.Writer) error {
 // while RMAT's degree skew is what dynamic scheduling insures against.
 // Colors and rounds must be identical either way (the speculation is
 // schedule-independent); only the time and utilization move.
-func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationResult {
+func (e *Env) RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationResult {
 	n := 1 << scale
 	res := &AblationResult{Title: fmt.Sprintf("A8: MTA coloring scheduling (rmat s=%d, m=%dn, p=%d)", scale, edgeFactor, procs)}
 	scheds := []struct {
@@ -307,7 +307,7 @@ func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationRes
 		s    sim.Sched
 	}{{"dynamic (int_fetch_add)", sim.SchedDynamic}, {"static block", sim.SchedBlock}}
 	res.Rows = make([]AblationRow, len(scheds))
-	err := ablSweep(len(scheds), func(idx int, c *Cell) error {
+	err := e.ablSweep(len(scheds), func(idx int, c *Cell) error {
 		sched := scheds[idx]
 		gKey := sweep.RMATKey(scale, edgeFactor*n, seed)
 		g := cached(c, gKey, func() *graph.Graph { return graph.RMAT(scale, edgeFactor*n, seed) })

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"context"
+	"sync"
+
+	"pargraph/internal/diskcache"
+	"pargraph/internal/mta"
+	"pargraph/internal/smp"
+	"pargraph/internal/sweep"
+	"pargraph/internal/trace"
+)
+
+// Env is one run's complete execution environment: everything that used
+// to be a harness package global, carried as a value instead. Every
+// Run* sweep entry point is a method on *Env, so two runs with
+// different settings — jobs, shard, caches, hooks, trace sinks — can
+// execute concurrently in one process without seeing each other's
+// configuration. internal/runner builds one Env per spec execution;
+// cmd/serve therefore runs jobs genuinely in parallel.
+//
+// The zero Env is valid: cells run sequentially (Jobs < 1 means 1),
+// machines replay regions in auto host-worker mode, nothing is cached,
+// traced, sharded, or interruptible. An Env's exported fields are set
+// before the first Run* call and not mutated during one; the machine
+// pool below is the only cross-goroutine mutable state and carries its
+// own lock.
+type Env struct {
+	// Jobs is how many experiment cells every sweep executes
+	// concurrently (see internal/sweep); values < 1 run sequentially.
+	// Any value yields bit-identical results, traces included.
+	Jobs int
+
+	// HostWorkers is the host goroutine count every machine this Env
+	// constructs uses to replay data-parallel regions (see
+	// mta.Machine.SetHostWorkers; 0 = auto). Identical simulated
+	// results for any value.
+	HostWorkers int
+
+	// Interrupt, when non-nil, cancels in-flight sweeps at the next
+	// cell boundary.
+	Interrupt context.Context
+
+	// Shard restricts every sweep to the cells an i-of-N shard owns;
+	// the zero value runs everything.
+	Shard sweep.Shard
+
+	// CacheStore, when non-nil, persists generated inputs
+	// (content-addressed, InputSchema); ResultStore memoizes whole
+	// sweep-cell outcomes (ResultSchema). Stores may be shared between
+	// concurrent Envs — diskcache is already multi-process-safe, and
+	// NewInputCache joins the process-wide build flight so two Envs on
+	// one directory build each input once between them.
+	CacheStore  *diskcache.Store
+	ResultStore *diskcache.Store
+
+	// InputHook observes every resolved input (sweep.Cache.Hook);
+	// ResultHook observes every memoized-cell decision (key, hit).
+	// Both serve manifest provenance and must be safe for concurrent
+	// calls from cells.
+	InputHook  func(key string, data []byte)
+	ResultHook func(key string, hit bool)
+
+	// TraceSink, when non-nil, receives every traced cell's events in
+	// cell order after each sweep; TraceSampleCycles additionally
+	// samples MTA within-region timelines at that simulated-cycle
+	// granularity.
+	TraceSink         trace.Sink
+	TraceSampleCycles float64
+
+	// PartialTraces, when non-nil, collects per-cell traces for a
+	// shard partial envelope.
+	PartialTraces *PartialTraceLog
+
+	// CellObserver, when non-nil, receives the wall-clock seconds of
+	// every sweep cell this Env executes (owned cells only; skipped
+	// shard cells don't report). It is called concurrently from cell
+	// goroutines and must be safe for that. cmd/serve hangs its
+	// per-cell latency percentiles off this.
+	CellObserver func(seconds float64)
+
+	// The machine pool: simulators are expensive to construct, so
+	// cells lease them per-config under the pool lock, Reset between
+	// borrows, and return them on clean completion. The pool is
+	// per-Env — shared across all of one run's sweeps, never between
+	// concurrent runs, so a leased machine's sink/worker wiring can't
+	// bleed across jobs.
+	poolMu  sync.Mutex
+	mtaFree map[mta.Config][]*mta.Machine
+	smpFree map[smp.Config][]*smp.Machine
+}
+
+// NewInputCache returns a fresh single-flight input cache wired to the
+// Env: backed by the persistent store when one is attached and persist
+// is true, observed by the Env's input hook, and joined to the
+// process-wide build flight for that store's directory+schema so
+// concurrent Envs sharing one cache directory generate each input once
+// between them instead of once each. persist=false keeps the cache
+// memory-only (path-keyed DIMACS inputs must not outlive the file they
+// were read from).
+func (e *Env) NewInputCache(persist bool) *sweep.Cache {
+	c := &sweep.Cache{Hook: e.InputHook}
+	if persist && e.CacheStore != nil {
+		c.Disk = e.CacheStore
+		c.Flight = sweep.FlightFor(e.CacheStore.Dir() + "\x00" + e.CacheStore.Schema())
+	}
+	return c
+}
+
+// leaseMTA takes a free machine of the given config from the Env pool,
+// or reports that none was available (the caller constructs one).
+func (e *Env) leaseMTA(cfg mta.Config) *mta.Machine {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	free := e.mtaFree[cfg]
+	if len(free) == 0 {
+		return nil
+	}
+	m := free[len(free)-1]
+	e.mtaFree[cfg] = free[:len(free)-1]
+	return m
+}
+
+func (e *Env) leaseSMP(cfg smp.Config) *smp.Machine {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	free := e.smpFree[cfg]
+	if len(free) == 0 {
+		return nil
+	}
+	m := free[len(free)-1]
+	e.smpFree[cfg] = free[:len(free)-1]
+	return m
+}
+
+// returnMachines puts a cell's cleanly released machines back in the
+// pool for the next cell (of any of this Env's sweeps) to lease.
+func (e *Env) returnMachines(mtas []*mta.Machine, smps []*smp.Machine) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.mtaFree == nil {
+		e.mtaFree = make(map[mta.Config][]*mta.Machine)
+	}
+	if e.smpFree == nil {
+		e.smpFree = make(map[smp.Config][]*smp.Machine)
+	}
+	for _, m := range mtas {
+		e.mtaFree[m.Config()] = append(e.mtaFree[m.Config()], m)
+	}
+	for _, m := range smps {
+		e.smpFree[m.Config()] = append(e.smpFree[m.Config()], m)
+	}
+}
+
+// globalEnv snapshots the deprecated package globals into a fresh Env.
+// It backs the package-level Run* shims, so code that still configures
+// the harness through the globals (the historical API) behaves exactly
+// as before: each call reads the globals once, at entry.
+func globalEnv() *Env {
+	return &Env{
+		Jobs:              Jobs,
+		HostWorkers:       HostWorkers,
+		Interrupt:         Interrupt,
+		Shard:             Shard,
+		CacheStore:        CacheStore,
+		ResultStore:       ResultStore,
+		InputHook:         InputHook,
+		ResultHook:        ResultHook,
+		TraceSink:         TraceSink,
+		TraceSampleCycles: TraceSampleCycles,
+		PartialTraces:     PartialTraces,
+	}
+}
+
+// Package-level entry points, kept so existing callers compile
+// unchanged. Each snapshots the package globals into a one-shot Env.
+//
+// Deprecated: build an Env and call its methods; the globals cannot be
+// used from concurrent runs.
+
+func RunFig1(params Fig1Params) (*Fig1Result, error) { return globalEnv().RunFig1(params) }
+
+func RunFig2(params Fig2Params) (*Fig2Result, error) { return globalEnv().RunFig2(params) }
+
+func RunTable1(params Table1Params) *Table1Result { return globalEnv().RunTable1(params) }
+
+func RunColoring(params ColoringParams) (*ColoringResult, error) {
+	return globalEnv().RunColoring(params)
+}
+
+func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
+	return globalEnv().RunSaturation(procs, perProc, seed)
+}
+
+func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
+	return globalEnv().RunStreams(n, procs, streams, seed)
+}
+
+func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) {
+	return globalEnv().RunTreeEval(leaves, procs, seed)
+}
+
+func RunProfile(params ProfileParams) (*ProfileResult, error) {
+	return globalEnv().RunProfile(params)
+}
+
+func RunAblScheduling(n, procs int, seed uint64) *AblationResult {
+	return globalEnv().RunAblScheduling(n, procs, seed)
+}
+
+func RunAblHashing(refs, procs int) *AblationResult {
+	return globalEnv().RunAblHashing(refs, procs)
+}
+
+func RunAblSublists(n, procs int, factors []int, seed uint64) *AblationResult {
+	return globalEnv().RunAblSublists(n, procs, factors, seed)
+}
+
+func RunAblShortcut(n, edgeFactor, procs int, seed uint64) *AblationResult {
+	return globalEnv().RunAblShortcut(n, edgeFactor, procs, seed)
+}
+
+func RunAblCache(n, procs int, l2MB []int, seed uint64) *AblationResult {
+	return globalEnv().RunAblCache(n, procs, l2MB, seed)
+}
+
+func RunAblAssociativity(n, procs int, assocs []int, seed uint64) *AblationResult {
+	return globalEnv().RunAblAssociativity(n, procs, assocs, seed)
+}
+
+func RunAblReduction(n, procs int) *AblationResult {
+	return globalEnv().RunAblReduction(n, procs)
+}
+
+func RunAblColoringSched(scale, edgeFactor, procs int, seed uint64) *AblationResult {
+	return globalEnv().RunAblColoringSched(scale, edgeFactor, procs, seed)
+}

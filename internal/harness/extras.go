@@ -138,10 +138,10 @@ type SaturationRow struct {
 
 // RunSaturation sweeps list length per processor for each p, one
 // scheduled cell per (p, length) pair.
-func RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
+func (e *Env) RunSaturation(procs []int, perProc []int, seed uint64) *SaturationResult {
 	nK := len(perProc)
 	rows := make([]SaturationRow, len(procs)*nK)
-	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(rows), e.stdOpts(), func(idx int, c *Cell) error {
 		p := procs[idx/nK]
 		n := perProc[idx%nK] * p
 		lKey := sweep.ListKey(n, list.Random.String(), seed+uint64(n))
@@ -193,9 +193,9 @@ type StreamsRow struct {
 // RunStreams sweeps the number of streams used per processor for
 // list ranking on a Random list, one cell per stream count; the list
 // is built once and shared.
-func RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
+func (e *Env) RunStreams(n, procs int, streams []int, seed uint64) *StreamsResult {
 	rows := make([]StreamsRow, len(streams))
-	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(rows), e.stdOpts(), func(idx int, c *Cell) error {
 		lKey := sweep.ListKey(n, list.Random.String(), seed)
 		l := cached(c, lKey, func() *list.List { return list.New(n, list.Random, seed) })
 		row, err := memo(c, fmt.Sprintf("streams/p=%d/streams=%d", procs, streams[idx]),
@@ -250,7 +250,7 @@ type TreeEvalRow struct {
 // models, verifying every result against the sequential evaluator. One
 // cell per size; the expression and its sequential value are built once
 // per size and shared by both machine runs.
-func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) {
+func (e *Env) RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) {
 	// Exported fields so the value persists through gob when a disk
 	// cache is attached (see sweep.GetAs).
 	type exprRef struct {
@@ -258,7 +258,7 @@ func RunTreeEval(leaves []int, procs int, seed uint64) (*TreeEvalResult, error) 
 		Want int64
 	}
 	rows := make([]TreeEvalRow, len(leaves))
-	_, err := runSweep(len(rows), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(rows), e.stdOpts(), func(idx int, c *Cell) error {
 		nl := leaves[idx]
 		eKey := sweep.ExprKey(nl, seed+uint64(nl))
 		ref := cached(c, eKey, func() exprRef {

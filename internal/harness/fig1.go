@@ -57,10 +57,10 @@ type Fig1Result struct {
 // laid out in the sequential loop order — run under the harness Jobs
 // setting; each list is generated once per (size, layout) and shared
 // read-only by every processor count that ranks it.
-func RunFig1(params Fig1Params) (*Fig1Result, error) {
+func (e *Env) RunFig1(params Fig1Params) (*Fig1Result, error) {
 	nP, nS := len(params.Procs), len(params.Sizes)
 	outs := make([]pointPair, len(params.Layouts)*nP*nS)
-	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(outs), e.stdOpts(), func(idx int, c *Cell) error {
 		layout := params.Layouts[idx/(nP*nS)]
 		procs := params.Procs[idx/nS%nP]
 		n := params.Sizes[idx%nS]

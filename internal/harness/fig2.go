@@ -54,10 +54,10 @@ type Fig2Result struct {
 // sequential loop order — run under the harness Jobs setting; each
 // random graph, its CSR, and its union-find verification reference are
 // built once per edge factor and shared by every processor count.
-func RunFig2(params Fig2Params) (*Fig2Result, error) {
+func (e *Env) RunFig2(params Fig2Params) (*Fig2Result, error) {
 	nF := len(params.EdgeFactors)
 	outs := make([]pointPair, len(params.Procs)*nF)
-	_, err := runSweep(len(outs), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(outs), e.stdOpts(), func(idx int, c *Cell) error {
 		procs := params.Procs[idx/nF]
 		f := params.EdgeFactors[idx%nF]
 		m := f * params.N

@@ -6,24 +6,29 @@ import (
 	"pargraph/internal/trace"
 )
 
-// HostWorkers is the number of host goroutines every machine the harness
-// constructs uses to replay data-parallel regions (see
-// mta.Machine.SetHostWorkers). The default 1 replays serially; any value
-// produces identical simulated results. Set it once before running
-// experiments — cmd/figures wires its -workers flag here.
+// HostWorkers is the number of host goroutines every machine the
+// package-level harness constructs uses to replay data-parallel regions
+// (see mta.Machine.SetHostWorkers). The default 1 replays serially; any
+// value produces identical simulated results.
+//
+// Deprecated: set Env.HostWorkers; the global configures only the
+// package-level shims.
 var HostWorkers = 1
 
-// TraceSink, when non-nil, is attached to every machine the harness
-// constructs, so a whole experiment sweep records one interleaved
-// attribution trace (see internal/trace). cmd/figures and friends wire
-// their -trace flags here. Traces are bit-identical for any HostWorkers
-// value.
+// TraceSink, when non-nil, is attached to every machine the
+// package-level harness constructs, so a whole experiment sweep records
+// one interleaved attribution trace (see internal/trace). Traces are
+// bit-identical for any HostWorkers value.
+//
+// Deprecated: set Env.TraceSink.
 var TraceSink trace.Sink
 
 // TraceSampleCycles, when positive, additionally samples within-region
 // issue-slot timelines on MTA machines at this simulated-cycle
 // granularity (see mta.Machine.SetTraceSampling). It has no effect
 // without a TraceSink.
+//
+// Deprecated: set Env.TraceSampleCycles.
 var TraceSampleCycles float64
 
 // newMTA constructs an MTA machine with the harness host-worker setting.

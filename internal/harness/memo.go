@@ -34,17 +34,20 @@ import (
 //     overwrites. Bumping sim.CostSchemaVersion (cost semantics) or
 //     ResultSchema (encoding) strands all old entries at once.
 
-// ResultStore, when non-nil, memoizes whole sweep-cell results in a
-// persistent content-addressed store, alongside CacheStore's inputs.
-// The cmds wire -cache-dir / PARGRAPH_CACHE here through the runner;
-// nil disables result memoization (every cell simulates).
+// ResultStore, when non-nil, memoizes whole sweep-cell results of
+// package-level runs in a persistent content-addressed store, alongside
+// CacheStore's inputs. Nil disables result memoization (every cell
+// simulates).
+//
+// Deprecated: set Env.ResultStore; the global configures only the
+// package-level shims.
 var ResultStore *diskcache.Store
 
-// ResultHook, when non-nil, observes every memoized cell decision:
-// the cell's result key and whether it was served from the store (hit)
-// or simulated (miss). The spec-driven runner wires manifest result
-// provenance here. Set it once before running experiments, alongside
-// ResultStore.
+// ResultHook, when non-nil, observes every memoized cell decision of a
+// package-level run: the cell's result key and whether it was served
+// from the store (hit) or simulated (miss).
+//
+// Deprecated: set Env.ResultHook.
 var ResultHook func(key string, hit bool)
 
 // ResultSchema is the diskcache schema salt for memoized results. Bump
@@ -75,7 +78,7 @@ func memo[T any](c *Cell, cell string, inputs []string,
 	dec func([]byte) (T, []byte, bool),
 	compute func() (T, error)) (T, error) {
 
-	store, hook := ResultStore, ResultHook
+	store, hook := c.env.ResultStore, c.env.ResultHook
 	if store == nil && hook == nil {
 		return compute()
 	}

@@ -69,7 +69,7 @@ type ProfileResult struct {
 // two machines are separate scheduled cells (run concurrently under
 // -jobs) sharing the cached input; their recorders are concatenated
 // MTA-first, exactly the sequential emission order.
-func RunProfile(params ProfileParams) (*ProfileResult, error) {
+func (e *Env) RunProfile(params ProfileParams) (*ProfileResult, error) {
 	if params.N < 2 {
 		return nil, fmt.Errorf("profile: n must be at least 2, got %d", params.N)
 	}
@@ -280,7 +280,7 @@ func RunProfile(params ProfileParams) (*ProfileResult, error) {
 		cfg += "/layout=" + params.Layout.String()
 	}
 	runs := make([]ProfileRun, len(cells))
-	recs, err := runSweep(len(cells), sweepOpts{record: true, sample: params.SampleCycles}, func(i int, c *Cell) error {
+	recs, err := e.runSweep(len(cells), sweepOpts{record: true, sample: params.SampleCycles}, func(i int, c *Cell) error {
 		pt, err := memo(c, cfg+"/machine="+cells[i].machine, resolveInputs(c),
 			appendProfPoint, consumeProfPoint, func() (profPoint, error) {
 				cycles, seconds, err := cells[i].run(c)

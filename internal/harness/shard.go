@@ -30,17 +30,20 @@ import (
 // the same determinism contract the in-process scheduler pins for any
 // -jobs value.
 
-// Shard restricts every Run* sweep to the cells an i-of-N shard owns.
-// The zero value (and any Count < 2) runs everything. Set it once
-// before running experiments — the cmds wire their -shard flag here.
+// Shard restricts every package-level Run* sweep to the cells an i-of-N
+// shard owns. The zero value (and any Count < 2) runs everything.
+//
+// Deprecated: set Env.Shard; the global configures only the
+// package-level shims.
 var Shard sweep.Shard
 
-// CacheStore, when non-nil, backs every sweep's input cache with a
-// persistent content-addressed store (see internal/diskcache and
-// sweep.Cache.Disk), so generated workloads and reference answers
-// survive across runs and are shared between shard processes. The cmds
-// wire -cache-dir / PARGRAPH_CACHE here; nil keeps inputs in-memory
-// and per-process.
+// CacheStore, when non-nil, backs every package-level sweep's input
+// cache with a persistent content-addressed store (see
+// internal/diskcache and sweep.Cache.Disk), so generated workloads and
+// reference answers survive across runs and are shared between shard
+// processes. Nil keeps inputs in-memory and per-process.
+//
+// Deprecated: set Env.CacheStore.
 var CacheStore *diskcache.Store
 
 // InputSchema is the diskcache schema salt for harness inputs. Bump it
@@ -97,9 +100,10 @@ func (l *PartialTraceLog) Take() []CellTrace {
 	return l.cells
 }
 
-// PartialTraces, when non-nil, makes every sweep record per-cell traces
-// into it for inclusion in a shard partial. Set it once before running
-// experiments, alongside Shard.
+// PartialTraces, when non-nil, makes every package-level sweep record
+// per-cell traces into it for inclusion in a shard partial.
+//
+// Deprecated: set Env.PartialTraces.
 var PartialTraces *PartialTraceLog
 
 // ProfilePartial is a shard's slice of a profile run: the parameters

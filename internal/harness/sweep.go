@@ -2,7 +2,7 @@ package harness
 
 import (
 	"context"
-	"sync"
+	"time"
 
 	"pargraph/internal/mta"
 	"pargraph/internal/smp"
@@ -10,56 +10,40 @@ import (
 	"pargraph/internal/trace"
 )
 
-// Jobs is how many experiment cells every Run* sweep executes
-// concurrently (see internal/sweep). The default 1 runs cells
+// Jobs is how many experiment cells every package-level Run* sweep
+// executes concurrently (see internal/sweep). The default 1 runs cells
 // sequentially; any value yields bit-identical results, traces
 // included, because each cell owns its machines, inputs are shared
 // read-only through a single-flight cache, and outputs land in index
-// slots assembled in sweep order. Set it once before running
-// experiments — the cmds wire their -jobs flag here. It composes with
-// HostWorkers, which stays per-cell (within-region replay).
+// slots assembled in sweep order. It composes with HostWorkers, which
+// stays per-cell (within-region replay).
+//
+// Deprecated: set Env.Jobs; the global configures only the
+// package-level shims and cannot serve concurrent runs.
 var Jobs = 1
 
-// Interrupt, when non-nil, cancels in-flight sweeps: once it is done,
-// sweeps stop dispatching new cells and return its cause (a real cell
-// error still wins the report). The cmds wire signal.NotifyContext here
-// so Ctrl-C abandons a long run at the next cell boundary instead of
-// mid-artifact.
+// Interrupt, when non-nil, cancels in-flight package-level sweeps: once
+// it is done, sweeps stop dispatching new cells and return its cause (a
+// real cell error still wins the report).
+//
+// Deprecated: set Env.Interrupt.
 var Interrupt context.Context
 
-// InputHook, when non-nil, observes every input a sweep's cache
-// resolves (see sweep.Cache.Hook): once per key, with the serialized
-// content. The spec-driven runner wires a manifest input log here so a
-// run records the exact bytes of everything it consumed. Set it once
-// before running experiments, alongside Shard and CacheStore.
+// InputHook, when non-nil, observes every input a package-level sweep's
+// cache resolves (see sweep.Cache.Hook): once per key, with the
+// serialized content.
+//
+// Deprecated: set Env.InputHook.
 var InputHook func(key string, data []byte)
 
-// sweepEnv is the state one Run* sweep shares across its cells: the
-// single-flight input cache and the pools of reusable simulator
-// machines. It is created per sweep so inputs and machines die with the
-// sweep instead of accumulating across experiments.
-type sweepEnv struct {
-	inputs sweep.Cache
-
-	mu      sync.Mutex
-	mtaFree map[mta.Config][]*mta.Machine
-	smpFree map[smp.Config][]*smp.Machine
-}
-
-func newSweepEnv() *sweepEnv {
-	return &sweepEnv{
-		mtaFree: make(map[mta.Config][]*mta.Machine),
-		smpFree: make(map[smp.Config][]*smp.Machine),
-	}
-}
-
-// Cell is one scheduled experiment cell's view of the sweep: it hands
-// out pooled machines (Reset between borrows, wired to the harness
-// HostWorkers and, when tracing, to the cell's private recorder) and,
-// via cached, the sweep's shared inputs. A Cell is confined to its
-// cell's goroutine.
+// Cell is one scheduled experiment cell's view of its run: it hands out
+// pooled machines (leased from the Env, Reset between borrows, wired to
+// the Env's HostWorkers and, when tracing, to the cell's private
+// recorder) and, via cached, the sweep's shared inputs. A Cell is
+// confined to its cell's goroutine.
 type Cell struct {
-	env    *sweepEnv
+	env    *Env
+	inputs *sweep.Cache    // the sweep's shared single-flight input cache
 	rec    *trace.Recorder // per-cell event stream; nil when not tracing
 	sample float64         // MTA within-region sampling for traced cells
 
@@ -73,30 +57,24 @@ type Cell struct {
 // build failure re-panics in this cell and is captured by the scheduler
 // as this cell's error — inputs never fail the process.
 func cached[T any](c *Cell, key string, build func() T) T {
-	v, err := sweep.GetAs(&c.env.inputs, key, func() (T, error) { return build(), nil })
+	v, err := sweep.GetAs(c.inputs, key, func() (T, error) { return build(), nil })
 	if err != nil {
 		panic(err)
 	}
 	return v
 }
 
-// MTA borrows a machine with the given configuration from the sweep's
+// MTA borrows a machine with the given configuration from the Env's
 // pool (constructing one if none is free), Reset and rewired to the
-// cell: harness HostWorkers, and the cell's recorder when tracing.
+// cell: the Env's HostWorkers, and the cell's recorder when tracing.
 func (c *Cell) MTA(cfg mta.Config) *mta.Machine {
-	c.env.mu.Lock()
-	var m *mta.Machine
-	if free := c.env.mtaFree[cfg]; len(free) > 0 {
-		m = free[len(free)-1]
-		c.env.mtaFree[cfg] = free[:len(free)-1]
-	}
-	c.env.mu.Unlock()
+	m := c.env.leaseMTA(cfg)
 	if m == nil {
 		m = mta.New(cfg)
 	} else {
 		m.Reset()
 	}
-	m.SetHostWorkers(HostWorkers)
+	m.SetHostWorkers(c.env.HostWorkers)
 	if c.rec != nil {
 		m.SetSink(c.rec)
 		m.SetTraceSampling(c.sample)
@@ -110,19 +88,13 @@ func (c *Cell) MTA(cfg mta.Config) *mta.Machine {
 
 // SMP is MTA's counterpart for the E4500 model.
 func (c *Cell) SMP(cfg smp.Config) *smp.Machine {
-	c.env.mu.Lock()
-	var m *smp.Machine
-	if free := c.env.smpFree[cfg]; len(free) > 0 {
-		m = free[len(free)-1]
-		c.env.smpFree[cfg] = free[:len(free)-1]
-	}
-	c.env.mu.Unlock()
+	m := c.env.leaseSMP(cfg)
 	if m == nil {
 		m = smp.New(cfg)
 	} else {
 		m.Reset()
 	}
-	m.SetHostWorkers(HostWorkers)
+	m.SetHostWorkers(c.env.HostWorkers)
 	if c.rec != nil {
 		m.SetSink(c.rec)
 	} else {
@@ -132,19 +104,12 @@ func (c *Cell) SMP(cfg smp.Config) *smp.Machine {
 	return m
 }
 
-// release returns the cell's borrowed machines to the pool. Called only
-// after the cell function returns cleanly — a failed or panicked cell
-// abandons its machines (their replay pools are reclaimed by the
+// release returns the cell's borrowed machines to the Env pool. Called
+// only after the cell function returns cleanly — a failed or panicked
+// cell abandons its machines (their replay pools are reclaimed by the
 // machines' finalizers), since their state is suspect.
 func (c *Cell) release() {
-	c.env.mu.Lock()
-	for _, m := range c.mtas {
-		c.env.mtaFree[m.Config()] = append(c.env.mtaFree[m.Config()], m)
-	}
-	for _, m := range c.smps {
-		c.env.smpFree[m.Config()] = append(c.env.smpFree[m.Config()], m)
-	}
-	c.env.mu.Unlock()
+	c.env.returnMachines(c.mtas, c.smps)
 	c.mtas, c.smps = nil, nil
 }
 
@@ -161,48 +126,52 @@ type sweepOpts struct {
 }
 
 // stdOpts is the configuration every figure/ablation sweep uses: trace
-// into the harness TraceSink (if any) at the harness sampling rate.
-func stdOpts() sweepOpts { return sweepOpts{sample: TraceSampleCycles} }
+// into the Env's TraceSink (if any) at the Env's sampling rate.
+func (e *Env) stdOpts() sweepOpts { return sweepOpts{sample: e.TraceSampleCycles} }
 
 // ablSweep is runSweep for the ablation tables, which keep their
 // historical no-error signatures: the caller panics on failure.
-func ablSweep(n int, cell func(i int, c *Cell) error) error {
-	_, err := runSweep(n, stdOpts(), cell)
+func (e *Env) ablSweep(n int, cell func(i int, c *Cell) error) error {
+	_, err := e.runSweep(n, e.stdOpts(), cell)
 	return err
 }
 
-// runSweep runs n cells under the harness Jobs setting with one shared
-// sweepEnv. Each traced cell records into a private recorder; after the
-// sweep the recorders are replayed in cell-index order — cells are laid
-// out in the sequential loop order, and a machine's event Seq/Start
-// counters are per-machine, so the forwarded stream is byte-identical
-// to what the sequential harness would have emitted into TraceSink
-// directly. The lowest-index cell error is returned; all cells run
-// regardless (the scheduler's determinism contract).
+// runSweep runs n cells under the Env's Jobs setting with one shared
+// single-flight input cache and the Env's machine pool. Each traced
+// cell records into a private recorder; after the sweep the recorders
+// are replayed in cell-index order — cells are laid out in the
+// sequential loop order, and a machine's event Seq/Start counters are
+// per-machine, so the forwarded stream is byte-identical to what the
+// sequential harness would have emitted into TraceSink directly. The
+// lowest-index cell error is returned; all cells run regardless (the
+// scheduler's determinism contract).
 //
 // Under an active Shard only owned cells execute; the rest leave their
 // output slots (and recorders) zero, which is what makes shard partials
 // mergeable slot-wise (see shard.go). With CacheStore attached, the
-// sweep's input cache persists to disk, so shard processes generate
-// each shared input once between them instead of once each.
-func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.Recorder, error) {
-	env := newSweepEnv()
-	env.inputs.Disk = CacheStore
-	env.inputs.Hook = InputHook
-	record := opts.record || TraceSink != nil || PartialTraces != nil
+// sweep's input cache persists to disk, so shard processes — and
+// concurrent Envs sharing the directory — generate each shared input
+// once between them instead of once each.
+func (e *Env) runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.Recorder, error) {
+	inputs := e.NewInputCache(true)
+	record := opts.record || e.TraceSink != nil || e.PartialTraces != nil
 	var recs []*trace.Recorder
 	if record {
 		recs = make([]*trace.Recorder, n)
 	}
-	ctx := Interrupt
+	ctx := e.Interrupt
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	err := sweep.RunCtx(ctx, n, Jobs, func(i int) error {
-		if !Shard.Owns(i) {
+	err := sweep.RunCtx(ctx, n, e.Jobs, func(i int) error {
+		if !e.Shard.Owns(i) {
 			return nil
 		}
-		c := &Cell{env: env, sample: opts.sample}
+		if e.CellObserver != nil {
+			start := time.Now()
+			defer func() { e.CellObserver(time.Since(start).Seconds()) }()
+		}
+		c := &Cell{env: e, inputs: inputs, sample: opts.sample}
 		if record {
 			c.rec = &trace.Recorder{}
 			recs[i] = c.rec
@@ -213,18 +182,18 @@ func runSweep(n int, opts sweepOpts, cell func(i int, c *Cell) error) ([]*trace.
 		c.release()
 		return nil
 	})
-	if !opts.record && TraceSink != nil {
+	if !opts.record && e.TraceSink != nil {
 		for _, r := range recs {
 			if r == nil {
 				continue
 			}
-			for _, e := range r.Events {
-				TraceSink.Emit(e)
+			for _, e2 := range r.Events {
+				e.TraceSink.Emit(e2)
 			}
 		}
 	}
-	if PartialTraces != nil {
-		PartialTraces.addSweep(recs)
+	if e.PartialTraces != nil {
+		e.PartialTraces.addSweep(recs)
 	}
 	return recs, err
 }

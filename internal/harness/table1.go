@@ -67,11 +67,11 @@ type Table1Row struct {
 // ranking, Ordered-list ranking, then connected components, each over
 // every processor count — run under the harness Jobs setting; each list
 // and the graph are built once and shared by every processor count.
-func RunTable1(params Table1Params) *Table1Result {
+func (e *Env) RunTable1(params Table1Params) *Table1Result {
 	nP := len(params.Procs)
 	layouts := []list.Layout{list.Random, list.Ordered}
 	utils := make([]float64, 3*nP)
-	_, err := runSweep(len(utils), stdOpts(), func(idx int, c *Cell) error {
+	_, err := e.runSweep(len(utils), e.stdOpts(), func(idx int, c *Cell) error {
 		procs := params.Procs[idx%nP]
 		row := idx / nP
 		var inKey string

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pargraph/internal/cmdutil"
+	"pargraph/internal/spec"
+)
+
+// concurrentSpecs is a deliberately mixed workload for the job-level
+// parallelism tests: a traced figures sweep, an untraced variant of the
+// same sweep (different format and worker count, so any trace-sink or
+// worker-count bleed between concurrent Envs shows up as a diff), and
+// two kernel workloads on different machines. Each spec sets its own
+// jobs so cell-level and job-level parallelism are exercised together.
+var concurrentSpecs = []struct{ name, toml string }{
+	{"fig1-traced", "[run]\ncommand = \"figures\"\njobs = 2\n" +
+		"[figures]\nfig = 1\nformat = \"json\"\nprocs = [1, 2]\nsizes = [256, 512]\n" +
+		"[output]\ntrace = \"trace.json\"\n"},
+	{"fig1-csv", "[run]\ncommand = \"figures\"\njobs = 2\nworkers = 2\n" +
+		"[figures]\nfig = 1\nformat = \"csv\"\nprocs = [1, 2]\nsizes = [256, 512]\n"},
+	{"coloring", "[run]\ncommand = \"coloring\"\njobs = 2\n" +
+		"[workload]\nn = 1024\nm = 8192\n"},
+	{"listrank", "[run]\ncommand = \"listrank\"\njobs = 2\n" +
+		"[workload]\nn = 4096\n"},
+}
+
+func parseConcurrentSpec(t *testing.T, i int) *spec.Spec {
+	t.Helper()
+	sp, err := spec.Parse([]byte(concurrentSpecs[i].toml))
+	if err != nil {
+		t.Fatalf("%s: %v", concurrentSpecs[i].name, err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("%s: %v", concurrentSpecs[i].name, err)
+	}
+	return sp
+}
+
+func collectRun(sp *spec.Spec) (*Result, error) {
+	return RunContext(context.Background(), sp, Options{Stdout: io.Discard, Stderr: io.Discard})
+}
+
+// artifactMap indexes a result's artifacts by role name.
+func artifactMap(res *Result) map[string][]byte {
+	m := make(map[string][]byte, len(res.Artifacts))
+	for _, a := range res.Artifacts {
+		m[a.Name] = a.Data
+	}
+	return m
+}
+
+// runConcurrent executes one fresh copy of every spec (repeated rounds
+// times) on its own goroutine and returns the results grouped by spec
+// index. With -race this is the harness-global data race detector: any
+// surviving shared mutable state between per-run Envs trips it.
+func runConcurrent(t *testing.T, rounds int) [][]*Result {
+	t.Helper()
+	out := make([][]*Result, len(concurrentSpecs))
+	for i := range out {
+		out[i] = make([]*Result, rounds)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(concurrentSpecs))
+	for r := 0; r < rounds; r++ {
+		for i := range concurrentSpecs {
+			sp := parseConcurrentSpec(t, i)
+			wg.Add(1)
+			go func(r, i int, sp *spec.Spec) {
+				defer wg.Done()
+				res, err := collectRun(sp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out[i][r] = res
+			}(r, i, sp)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkAgainstSerial byte-compares every artifact of a concurrent run
+// against its serial baseline and asserts the config-bleed invariants:
+// only the traced spec carries a trace artifact, and each run's
+// manifest records exactly the spec hash and inputs its serial twin
+// recorded — a concurrent job that saw another job's trace sink, shard,
+// or cache hook would diverge on one of these.
+func checkAgainstSerial(t *testing.T, serial []*Result, concurrent [][]*Result) {
+	t.Helper()
+	for i, rs := range concurrent {
+		name := concurrentSpecs[i].name
+		want := artifactMap(serial[i])
+		for r, res := range rs {
+			got := artifactMap(res)
+			if len(got) != len(want) {
+				t.Errorf("%s round %d: %d artifacts concurrent vs %d serial", name, r, len(got), len(want))
+			}
+			for art, wb := range want {
+				gb, ok := got[art]
+				if !ok {
+					t.Errorf("%s round %d: artifact %q missing from concurrent run", name, r, art)
+					continue
+				}
+				if !bytes.Equal(gb, wb) {
+					t.Errorf("%s round %d: artifact %q differs between concurrent and serial runs (%d vs %d bytes)",
+						name, r, art, len(gb), len(wb))
+				}
+			}
+			if _, traced := got["trace"]; traced != (name == "fig1-traced") {
+				t.Errorf("%s round %d: trace artifact present=%v — trace wiring bled across jobs", name, r, traced)
+			}
+			if res.Manifest.SpecSHA256 != serial[i].Manifest.SpecSHA256 {
+				t.Errorf("%s round %d: spec hash %s differs from serial %s",
+					name, r, res.Manifest.SpecSHA256, serial[i].Manifest.SpecSHA256)
+			}
+			if !reflect.DeepEqual(res.Manifest.Inputs, serial[i].Manifest.Inputs) {
+				t.Errorf("%s round %d: manifest input record differs from serial — an input hook saw another job's traffic", name, r)
+			}
+		}
+	}
+}
+
+// TestConcurrentRunsMatchSerial: ≥4 RunContext jobs with mixed specs
+// executing at once, cache off, must produce artifacts byte-identical
+// to running the same specs one at a time. This is the contract that
+// lets cmd/serve run jobs in parallel: every run gets a private
+// harness.Env, so nothing — shard, trace sink, hooks, machine pools —
+// is shared between jobs.
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	t.Setenv(cmdutil.CacheEnv, "")
+
+	serial := make([]*Result, len(concurrentSpecs))
+	for i := range concurrentSpecs {
+		res, err := collectRun(parseConcurrentSpec(t, i))
+		if err != nil {
+			t.Fatalf("%s serial: %v", concurrentSpecs[i].name, err)
+		}
+		serial[i] = res
+	}
+
+	checkAgainstSerial(t, serial, runConcurrent(t, 2))
+}
+
+// TestConcurrentRunsSharedCacheDir repeats the serial-vs-concurrent
+// comparison with every job sharing one cold cache directory, the
+// cmd/serve deployment shape: concurrent jobs race to build the same
+// persistent inputs (the two fig1 specs share every graph), so this
+// exercises the cross-Cache single flight and the per-job manifest
+// hooks under contention. Serial baseline and concurrent pass each get
+// a fresh directory so both start cold.
+func TestConcurrentRunsSharedCacheDir(t *testing.T) {
+	t.Setenv(cmdutil.CacheEnv, t.TempDir())
+	serial := make([]*Result, len(concurrentSpecs))
+	for i := range concurrentSpecs {
+		res, err := collectRun(parseConcurrentSpec(t, i))
+		if err != nil {
+			t.Fatalf("%s serial: %v", concurrentSpecs[i].name, err)
+		}
+		serial[i] = res
+	}
+
+	t.Setenv(cmdutil.CacheEnv, t.TempDir())
+	checkAgainstSerial(t, serial, runConcurrent(t, 1))
+}

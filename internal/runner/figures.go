@@ -19,12 +19,12 @@ func (rc *runCtx) runFigures() error {
 	if err != nil {
 		return err
 	}
-	shard := harness.Shard
+	shard := rc.env.Shard
 
 	var rec *trace.Recorder
 	if sp.Output.Trace != "" || sp.Output.Attr != "" {
 		rec = &trace.Recorder{}
-		harness.TraceSink = rec
+		rc.env.TraceSink = rec
 	}
 
 	text := f.Format == "text"
@@ -54,7 +54,7 @@ func (rc *runCtx) runFigures() error {
 
 	runFig1 := func() (*harness.Fig1Result, error) {
 		if rep.Fig1 == nil {
-			res, err := harness.RunFig1(fig1P)
+			res, err := rc.env.RunFig1(fig1P)
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +64,7 @@ func (rc *runCtx) runFigures() error {
 	}
 	runFig2 := func() (*harness.Fig2Result, error) {
 		if rep.Fig2 == nil {
-			res, err := harness.RunFig2(fig2P)
+			res, err := rc.env.RunFig2(fig2P)
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +102,7 @@ func (rc *runCtx) runFigures() error {
 		}
 	}
 	if f.All || f.Table == 1 {
-		rep.Table1 = harness.RunTable1(table1P)
+		rep.Table1 = rc.env.RunTable1(table1P)
 		if text {
 			rep.Table1.WriteText(out)
 		}
@@ -149,38 +149,38 @@ func (rc *runCtx) runFigures() error {
 	}
 	exps := map[string]func() (interface{}, error){
 		"saturation": func() (interface{}, error) {
-			rep.Saturation = harness.RunSaturation([]int{1, 2, 4, 8}, []int{100, 1000, 10000}, 7)
+			rep.Saturation = rc.env.RunSaturation([]int{1, 2, 4, 8}, []int{100, 1000, 10000}, 7)
 			return rep.Saturation, nil
 		},
 		"streams": func() (interface{}, error) {
-			rep.Streams = harness.RunStreams(sizeFor(scale, 1<<16, 1<<19, 1<<21), 1,
+			rep.Streams = rc.env.RunStreams(sizeFor(scale, 1<<16, 1<<19, 1<<21), 1,
 				[]int{1, 2, 4, 8, 16, 40, 80, 128}, 7)
 			return rep.Streams, nil
 		},
 		"sched": func() (interface{}, error) {
-			return addAbl(harness.RunAblScheduling(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, 7)), nil
+			return addAbl(rc.env.RunAblScheduling(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, 7)), nil
 		},
 		"hashing": func() (interface{}, error) {
-			return addAbl(harness.RunAblHashing(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8)), nil
+			return addAbl(rc.env.RunAblHashing(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8)), nil
 		},
 		"sublists": func() (interface{}, error) {
-			return addAbl(harness.RunAblSublists(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4, 8, 16, 64}, 7)), nil
+			return addAbl(rc.env.RunAblSublists(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4, 8, 16, 64}, 7)), nil
 		},
 		"shortcut": func() (interface{}, error) {
-			return addAbl(harness.RunAblShortcut(sizeFor(scale, 1<<11, 1<<14, 1<<17), 8, 4, 7)), nil
+			return addAbl(rc.env.RunAblShortcut(sizeFor(scale, 1<<11, 1<<14, 1<<17), 8, 4, 7)), nil
 		},
 		"cache": func() (interface{}, error) {
-			return addAbl(harness.RunAblCache(sizeFor(scale, 1<<17, 1<<19, 1<<21), 1, []int{1, 2, 4, 8, 16}, 7)), nil
+			return addAbl(rc.env.RunAblCache(sizeFor(scale, 1<<17, 1<<19, 1<<21), 1, []int{1, 2, 4, 8, 16}, 7)), nil
 		},
 		"assoc": func() (interface{}, error) {
-			return addAbl(harness.RunAblAssociativity(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4}, 7)), nil
+			return addAbl(rc.env.RunAblAssociativity(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8, []int{1, 2, 4}, 7)), nil
 		},
 		"reduction": func() (interface{}, error) {
-			return addAbl(harness.RunAblReduction(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8)), nil
+			return addAbl(rc.env.RunAblReduction(sizeFor(scale, 1<<16, 1<<19, 1<<21), 8)), nil
 		},
 		"treeeval": func() (interface{}, error) {
 			sz := sizeFor(scale, 1<<13, 1<<16, 1<<18)
-			res, err := harness.RunTreeEval([]int{sz / 4, sz / 2, sz}, 8, 7)
+			res, err := rc.env.RunTreeEval([]int{sz / 4, sz / 2, sz}, 8, 7)
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +188,7 @@ func (rc *runCtx) runFigures() error {
 			return res, nil
 		},
 		"coloring": func() (interface{}, error) {
-			res, err := harness.RunColoring(coloringP)
+			res, err := rc.env.RunColoring(coloringP)
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +196,7 @@ func (rc *runCtx) runFigures() error {
 			return res, nil
 		},
 		"colorsched": func() (interface{}, error) {
-			return addAbl(harness.RunAblColoringSched(sizeFor(scale, 10, 13, 16), 8, 8, 7)), nil
+			return addAbl(rc.env.RunAblColoringSched(sizeFor(scale, 10, 13, 16), 8, 8, 7)), nil
 		},
 	}
 	writeExp := func(res interface{}) {
@@ -239,8 +239,8 @@ func (rc *runCtx) runFigures() error {
 			Summary: f.All || f.Summary,
 			Report:  rep,
 		}
-		if harness.PartialTraces != nil {
-			p.Trace = harness.PartialTraces.Take()
+		if rc.env.PartialTraces != nil {
+			p.Trace = rc.env.PartialTraces.Take()
 		}
 		if p.Manifest, err = rc.shardManifestJSON(); err != nil {
 			return err

@@ -26,17 +26,17 @@ func (rc *runCtx) runProfile() error {
 		N: p.N, Procs: p.Procs, Layout: layout,
 		Seed: sp.Run.Seed, SampleCycles: p.Sample,
 	}
-	res, err := harness.RunProfile(params)
+	res, err := rc.env.RunProfile(params)
 	if err != nil {
 		return err
 	}
 
-	if harness.Shard.Active() {
+	if rc.env.Shard.Active() {
 		part := &harness.Partial{
 			Schema:  harness.PartialSchema,
-			Shard:   harness.Shard,
+			Shard:   rc.env.Shard,
 			Profile: &harness.ProfilePartial{Params: res.Params, Runs: res.Runs},
-			Trace:   harness.PartialTraces.Take(),
+			Trace:   rc.env.PartialTraces.Take(),
 		}
 		if part.Manifest, err = rc.shardManifestJSON(); err != nil {
 			return err

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 
 	"pargraph/internal/cmdutil"
 	"pargraph/internal/diskcache"
@@ -60,6 +59,17 @@ type Options struct {
 	// CacheMaxBytes bounds the cache directory's size; on overflow the
 	// oldest entries are pruned (-cache-max-bytes, 0 = unbounded).
 	CacheMaxBytes int64
+
+	// Interrupt, when non-nil, cancels a Run at the next sweep-cell
+	// boundary (the cmds wire signal.NotifyContext here). RunContext's
+	// ctx takes precedence; this field exists for the file-writing Run
+	// path, which has no context parameter.
+	Interrupt context.Context
+
+	// CellObserver, when non-nil, receives the wall-clock seconds of
+	// every sweep cell the run executes (see harness.Env.CellObserver).
+	// Called concurrently from cell goroutines; must be safe for that.
+	CellObserver func(seconds float64)
 }
 
 // LoadSpec is the cmds' -spec entry point: the command's default spec
@@ -115,20 +125,11 @@ func (r *Result) Artifact(name string) *Artifact {
 	return nil
 }
 
-// execMu serializes spec execution process-wide. The harness
-// configuration (Shard, CacheStore, Jobs, hooks, ...) is process-global
-// state that run saves, mutates, and restores; two interleaved runs
-// would see each other's settings. The CLI never hits this (one run per
-// process), but a long-running embedder (cmd/serve) may accept jobs
-// concurrently — they execute one at a time, each using the sweep
-// scheduler's own cell parallelism (Run.Jobs) to fill the host's cores.
-var execMu sync.Mutex
-
 // Run executes a validated spec. The caller must have called
 // sp.Validate; Run trusts the spec's invariants. Cancellation follows
-// the harness Interrupt context the cmds install (signal.NotifyContext).
+// Options.Interrupt (the cmds wire signal.NotifyContext there).
 func Run(sp *spec.Spec, o Options) error {
-	_, err := run(nil, sp, o, false)
+	_, err := run(o.Interrupt, sp, o, false)
 	return err
 }
 
@@ -158,40 +159,15 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 		return nil, fmt.Errorf("collected runs write no files; -out is not available")
 	}
 
-	execMu.Lock()
-	defer execMu.Unlock()
-
-	// The harness globals are process-wide; save and restore them so
-	// run composes with tests (and any future embedding) that call it
-	// repeatedly in one process.
-	savedInterrupt := harness.Interrupt
-	savedShard := harness.Shard
-	savedCache := harness.CacheStore
-	savedResults := harness.ResultStore
-	savedResultHook := harness.ResultHook
-	savedWorkers := harness.HostWorkers
-	savedJobs := harness.Jobs
-	savedHook := harness.InputHook
-	savedPartials := harness.PartialTraces
-	savedSink := harness.TraceSink
-	defer func() {
-		harness.Interrupt = savedInterrupt
-		harness.Shard = savedShard
-		harness.CacheStore = savedCache
-		harness.ResultStore = savedResults
-		harness.ResultHook = savedResultHook
-		harness.HostWorkers = savedWorkers
-		harness.Jobs = savedJobs
-		harness.InputHook = savedHook
-		harness.PartialTraces = savedPartials
-		harness.TraceSink = savedSink
-	}()
-
+	// Each run executes in its own harness.Env — no process-global
+	// state, so concurrent runs (cmd/serve's job workers) don't see
+	// each other's shard, caches, hooks, or trace wiring.
+	env := &harness.Env{CellObserver: o.CellObserver}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		harness.Interrupt = ctx
+		env.Interrupt = ctx
 	}
 
 	shard, err := cmdutil.ParseShard(sp.Run.Shard)
@@ -201,13 +177,13 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 	if collect && shard.Active() {
 		return nil, fmt.Errorf("sharded runs emit partial envelopes, not artifacts; collected runs cannot shard")
 	}
-	harness.Shard = shard
-	harness.HostWorkers = sp.Run.Workers
+	env.Shard = shard
+	env.HostWorkers = sp.Run.Workers
 	jobs, err := cmdutil.ResolveJobs(sp.Run.Jobs)
 	if err != nil {
 		return nil, err
 	}
-	harness.Jobs = jobs
+	env.Jobs = jobs
 
 	// Every command shares one cache directory under two schemas: the
 	// input store (generated lists/graphs/references) and the result
@@ -217,7 +193,7 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	harness.CacheStore = inputStore
+	env.CacheStore = inputStore
 	var resultStore *diskcache.Store
 	if !o.NoResultCache {
 		resultStore, err = cmdutil.OpenCache(sp.Run.CacheDir, harness.ResultSchema)
@@ -225,8 +201,7 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 			return nil, err
 		}
 	}
-	harness.ResultStore = resultStore
-	harness.ResultHook = nil
+	env.ResultStore = resultStore
 	if o.CacheMaxBytes > 0 {
 		if inputStore != nil {
 			inputStore.SetMaxBytes(o.CacheMaxBytes)
@@ -236,14 +211,14 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 		}
 	}
 
-	rc := &runCtx{sp: sp, o: &o, collect: collect}
+	rc := &runCtx{sp: sp, o: &o, collect: collect, env: env}
 	if sp.Output.Manifest != "" || collect {
 		rc.mlog = &manifest.Log{}
-		harness.InputHook = rc.mlog.Add
-		harness.ResultHook = rc.mlog.AddResult
+		env.InputHook = rc.mlog.Add
+		env.ResultHook = rc.mlog.AddResult
 	}
 	if shard.Active() && (sp.Run.Command == spec.CmdProfile || o.WithTrace) {
-		harness.PartialTraces = &harness.PartialTraceLog{}
+		env.PartialTraces = &harness.PartialTraceLog{}
 	}
 
 	switch sp.Run.Command {
@@ -303,12 +278,14 @@ func run(ctx context.Context, sp *spec.Spec, o Options, collect bool) (*Result, 
 }
 
 // runCtx is one run's mutable state: the spec, the output options, the
-// manifest input log (nil when no manifest was requested), and the
-// artifacts recorded so far. With collect set, rendered artifact bytes
-// are retained in out instead of being written to their spec paths.
+// run's private execution environment, the manifest input log (nil when
+// no manifest was requested), and the artifacts recorded so far. With
+// collect set, rendered artifact bytes are retained in out instead of
+// being written to their spec paths.
 type runCtx struct {
 	sp      *spec.Spec
 	o       *Options
+	env     *harness.Env
 	mlog    *manifest.Log
 	arts    []manifest.Artifact
 	collect bool

@@ -12,7 +12,6 @@ import (
 	"pargraph/internal/concomp"
 	"pargraph/internal/gio"
 	"pargraph/internal/graph"
-	"pargraph/internal/harness"
 	"pargraph/internal/list"
 	"pargraph/internal/listrank"
 	"pargraph/internal/mta"
@@ -29,20 +28,14 @@ import (
 // keys — spec-driven and harness-driven runs of one workload record
 // the same input identity.
 
-// workloadCache returns the run's input cache, backed by the
-// persistent store when one is attached and hooked to the manifest
-// log when one is active. DIMACS inputs are keyed by path, not
-// content, so a file-loaded workload stays memory-only — a persistent
-// entry could outlive an edit to the file it claims to represent.
+// workloadCache returns the run's input cache, backed by the Env's
+// persistent store when one is attached and hooked to the Env's input
+// hook (the manifest log) when one is active. DIMACS inputs are keyed
+// by path, not content, so a file-loaded workload stays memory-only — a
+// persistent entry could outlive an edit to the file it claims to
+// represent.
 func (rc *runCtx) workloadCache() *sweep.Cache {
-	c := &sweep.Cache{}
-	if rc.sp.Workload.Input == "" {
-		c.Disk = harness.CacheStore
-	}
-	if rc.mlog != nil {
-		c.Hook = rc.mlog.Add
-	}
-	return c
+	return rc.env.NewInputCache(rc.sp.Workload.Input == "")
 }
 
 // memoWorkload wraps a single-run workload body in the result cache.
@@ -55,7 +48,7 @@ func (rc *runCtx) workloadCache() *sweep.Cache {
 // the RegionTrace restriction with manifests) always compute.
 func (rc *runCtx) memoWorkload(cellCfg string, inputs []string, rec *trace.Recorder,
 	compute func() ([]byte, error)) ([]byte, error) {
-	store, hook := harness.ResultStore, harness.ResultHook
+	store, hook := rc.env.ResultStore, rc.env.ResultHook
 	if (store == nil && hook == nil) || rc.sp.Workload.Input != "" || rc.o.RegionTrace {
 		return compute()
 	}

@@ -26,6 +26,7 @@ import (
 	"mime"
 	"net/http"
 	"path"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -45,10 +46,12 @@ type Config struct {
 	// CacheMaxBytes bounds the cache directory; 0 = unbounded.
 	CacheMaxBytes int64
 
-	// Concurrency is the worker-pool size (default 1). The runner
-	// serializes spec execution process-wide (harness state is global),
-	// so extra workers only overlap job bookkeeping today; within one
-	// job, the sweep scheduler's cell parallelism fills the host cores.
+	// Concurrency is the worker-pool size (default 1): how many jobs
+	// execute simultaneously, each in its own harness.Env against the
+	// shared disk cache. Submitted specs that leave [run] jobs on auto
+	// are admitted with NumCPU/Concurrency cell-level jobs, splitting
+	// the host's cores between job- and cell-level parallelism; a
+	// spec's explicit jobs value is respected.
 	Concurrency int
 
 	// Retain bounds how many finished jobs (with their artifacts) stay
@@ -78,6 +81,14 @@ type Server struct {
 	durBuckets    []int64 // cumulative-style histogram counts per bucket edge, +Inf last
 	durCount      int64
 	durSum        float64
+	active        int // jobs executing right now
+	activePeak    int // high-water mark of active — pins that jobs overlapped
+
+	// Latency percentiles: bounded reservoirs, one per stat. jobDur
+	// samples whole-job wall clocks; cellDur samples every sweep cell's
+	// wall clock across all jobs (via runner.Options.CellObserver).
+	jobDur  *reservoir
+	cellDur *reservoir
 }
 
 // durEdges are the job wall-clock histogram bucket upper bounds in
@@ -102,7 +113,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = 1 << 20
 	}
-	s := &Server{cfg: cfg, durBuckets: make([]int64, len(durEdges)+1)}
+	s := &Server{
+		cfg:        cfg,
+		durBuckets: make([]int64, len(durEdges)+1),
+		jobDur:     newReservoir(1024, 1),
+		cellDur:    newReservoir(4096, 2),
+	}
 	s.queue = jobqueue.New(cfg.Concurrency, cfg.Retain, s.runJob)
 
 	mux := http.NewServeMux()
@@ -135,15 +151,29 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// runJob is the queue's Runner: one spec through the runner, artifacts
-// collected in memory, cache traffic and wall clock folded into the
-// server's metrics.
+// runJob is the queue's Runner: one spec through the runner — each in
+// its own harness.Env, so Concurrency workers execute specs genuinely
+// in parallel — artifacts collected in memory, cache traffic and wall
+// clock folded into the server's metrics.
 func (s *Server) runJob(ctx context.Context, payload any) (any, error) {
 	js := payload.(*jobSpec)
+	s.mu.Lock()
+	s.active++
+	if s.active > s.activePeak {
+		s.activePeak = s.active
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+
 	start := time.Now()
 	res, err := runner.RunContext(ctx, js.sp, runner.Options{
 		Stdout: io.Discard, Stderr: io.Discard,
 		CacheMaxBytes: s.cfg.CacheMaxBytes,
+		CellObserver:  s.cellDur.add,
 	})
 	s.observe(time.Since(start), res)
 	return res, err
@@ -152,6 +182,7 @@ func (s *Server) runJob(ctx context.Context, payload any) (any, error) {
 // observe folds one finished run into the metrics counters.
 func (s *Server) observe(d time.Duration, res *runner.Result) {
 	sec := d.Seconds()
+	s.jobDur.add(sec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	i := len(durEdges)
@@ -235,6 +266,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The server owns the cache: every job shares its directory, and a
 	// client cannot point a job at a server-side path of its choosing.
 	sp.Run.CacheDir = s.cfg.CacheDir
+	// Split the host's cores between job-level and cell-level
+	// parallelism: a spec that leaves [run] jobs on auto would claim
+	// every core (0 = NumCPU in the runner), starving the other
+	// Concurrency-1 workers, so it is admitted with its fair share
+	// instead. An explicit jobs value is respected. Execution knobs are
+	// outside the canonical spec hash, so this never changes artifact
+	// bytes or cache identity.
+	if sp.Run.Jobs == 0 {
+		if sp.Run.Jobs = runtime.NumCPU() / s.cfg.Concurrency; sp.Run.Jobs < 1 {
+			sp.Run.Jobs = 1
+		}
+	}
 	if err := sp.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
@@ -414,6 +457,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	computed, cached := s.cellsComputed, s.cellsCached
 	buckets := append([]int64(nil), s.durBuckets...)
 	count, sum := s.durCount, s.durSum
+	peak := s.activePeak
 	s.mu.Unlock()
 
 	var b strings.Builder
@@ -422,6 +466,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "jobs_running %d\n", c.Running)
 	fmt.Fprintf(&b, "jobs_done %d\n", c.Done)
 	fmt.Fprintf(&b, "jobs_failed %d\n", c.Failed)
+	fmt.Fprintf(&b, "jobs_running_peak %d\n", peak)
 	fmt.Fprintf(&b, "queue_depth %d\n", c.Pending)
 	fmt.Fprintf(&b, "cells_computed_total %d\n", computed)
 	fmt.Fprintf(&b, "cells_cached_total %d\n", cached)
@@ -445,6 +490,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "job_seconds_bucket{le=\"+Inf\"} %d\n", count)
 	fmt.Fprintf(&b, "job_seconds_count %d\n", count)
 	fmt.Fprintf(&b, "job_seconds_sum %.6f\n", sum)
+	// Percentiles from the bounded reservoirs: job wall clock and
+	// per-sweep-cell latency across all jobs.
+	quantileQs := []float64{0.5, 0.95, 0.99}
+	jq, _ := s.jobDur.quantiles(quantileQs)
+	cq, cellCount := s.cellDur.quantiles(quantileQs)
+	for i, q := range quantileQs {
+		fmt.Fprintf(&b, "job_seconds{quantile=%q} %.6f\n", fmt.Sprintf("%g", q), jq[i])
+	}
+	fmt.Fprintf(&b, "cell_seconds_count %d\n", cellCount)
+	for i, q := range quantileQs {
+		fmt.Fprintf(&b, "cell_seconds{quantile=%q} %.6f\n", fmt.Sprintf("%g", q), cq[i])
+	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, b.String())

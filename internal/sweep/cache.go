@@ -44,6 +44,14 @@ type Cache struct {
 	// attached, a value that cannot be serialized is an error rather
 	// than a silent gap in the record.
 	Hook func(key string, data []byte)
+
+	// Flight, when non-nil alongside Disk, joins this Cache to a
+	// process-wide single-flight group (see FlightFor): before building
+	// a key that missed both this Cache and the disk, GetAs waits for
+	// any other Cache in the group already building it and then re-reads
+	// the disk, so concurrent runs sharing one cache directory generate
+	// each input once between them. Set it before the first Get.
+	Flight *Flight
 }
 
 type cacheEntry struct {
@@ -120,6 +128,33 @@ func GetAs[T any](c *Cache, key string, build func() (T, error)) (T, error) {
 						hook(key, data)
 					}
 					return v, nil
+				}
+			}
+			if c.Flight != nil {
+				// Cross-Cache single flight: wait out any in-progress
+				// build of this key elsewhere in the process, re-reading
+				// the disk after each leader finishes. Becoming the
+				// leader falls through to build below; end always runs,
+				// even if the build panics, so waiters never hang. The
+				// re-read under leadership closes the race where another
+				// leader ran to completion between our first disk miss
+				// and begin — a failed disk probe costs microseconds
+				// against the build it saves.
+				for {
+					leader, done := c.Flight.begin(key)
+					if leader {
+						break
+					}
+					<-done
+				}
+				defer c.Flight.end(key)
+				if data, ok := disk.Get(key); ok {
+					if v, ok := decodeValue[T](data); ok {
+						if hook != nil {
+							hook(key, data)
+						}
+						return v, nil
+					}
 				}
 			}
 		}

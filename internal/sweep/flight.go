@@ -1,0 +1,71 @@
+package sweep
+
+import "sync"
+
+// Flight coordinates input builds across every Cache in the process
+// that shares one persistent store. A Cache's own single-flight tier is
+// per-Cache — two concurrent runs with the same cache directory each
+// have their own Cache, so without coordination both would miss the
+// disk (the entry does not exist yet) and build the same input twice.
+// With a shared Flight, the first builder becomes the key's leader;
+// everyone else waits for it to finish and Put, then decodes the
+// leader's bytes from the disk tier instead of rebuilding.
+//
+// A Flight only ever makes things warmer: if the leader fails to
+// persist its value, a waiter simply builds its own copy (becoming the
+// next leader), so flight membership never turns a cache miss into an
+// error.
+type Flight struct {
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+}
+
+// begin joins the flight for key: the first caller becomes the leader
+// (done is nil) and must call end when its build-and-Put completes,
+// however it completes. Everyone else gets the leader's done channel to
+// wait on.
+func (f *Flight) begin(key string) (leader bool, done <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inflight == nil {
+		f.inflight = make(map[string]chan struct{})
+	}
+	if ch, ok := f.inflight[key]; ok {
+		return false, ch
+	}
+	f.inflight[key] = make(chan struct{})
+	return true, nil
+}
+
+// end releases key's leadership and wakes every waiter.
+func (f *Flight) end(key string) {
+	f.mu.Lock()
+	ch := f.inflight[key]
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+var (
+	flightsMu sync.Mutex
+	flights   = map[string]*Flight{}
+)
+
+// FlightFor returns the process-wide Flight for a store scope —
+// callers pass something that identifies the persistent store, e.g.
+// directory plus schema. Every Cache wired to the same scope shares one
+// Flight, so concurrent runs on one cache directory generate each input
+// once between them. Scopes live for the life of the process; there are
+// as many as distinct cache directories, so the registry stays tiny.
+func FlightFor(scope string) *Flight {
+	flightsMu.Lock()
+	defer flightsMu.Unlock()
+	f, ok := flights[scope]
+	if !ok {
+		f = &Flight{}
+		flights[scope] = f
+	}
+	return f
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightDedupsAcrossCaches is satellite coverage for the
+// cross-Cache single flight: two Caches (two concurrent runs) sharing
+// one disk store and one Flight build a cold key once between them —
+// the second run waits for the first's build and decodes its bytes from
+// the disk tier instead of rebuilding. The build is held open until the
+// second run has been launched, so the deduplication is exercised while
+// the build is genuinely in flight.
+func TestFlightDedupsAcrossCaches(t *testing.T) {
+	store := openStore(t, t.TempDir())
+	flight := &Flight{}
+	c1 := &Cache{Disk: store, Flight: flight}
+	c2 := &Cache{Disk: store, Flight: flight}
+
+	const key = "flight/shared"
+	want := buildPayload(7)
+	var builds atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type res struct {
+		v   payload
+		err error
+	}
+	first := make(chan res, 1)
+	go func() {
+		v, err := GetAs(c1, key, func() (payload, error) {
+			builds.Add(1)
+			close(started)
+			<-release
+			return want, nil
+		})
+		first <- res{v, err}
+	}()
+	<-started
+
+	// The leader is mid-build; this Get from the other Cache must end
+	// up waiting on the flight, not building. Whatever the scheduling,
+	// the flight guarantees at most one build of the key.
+	second := make(chan res, 1)
+	go func() {
+		v, err := GetAs(c2, key, func() (payload, error) {
+			builds.Add(1)
+			return want, nil
+		})
+		second <- res{v, err}
+	}()
+	close(release)
+
+	for _, ch := range []chan res{first, second} {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !reflect.DeepEqual(r.v, want) {
+			t.Errorf("got %+v, want %+v", r.v, want)
+		}
+	}
+	if got := builds.Load(); got != 1 {
+		t.Errorf("two caches on one flight built the key %d times, want 1", got)
+	}
+}
+
+// TestFlightLeaderFailure pins that flight membership never turns a
+// cache miss into an error: when the leader's build fails (so nothing
+// lands on disk), a waiter takes over leadership and builds its own
+// copy rather than inheriting the failure or hanging.
+func TestFlightLeaderFailure(t *testing.T) {
+	store := openStore(t, t.TempDir())
+	flight := &Flight{}
+	c1 := &Cache{Disk: store, Flight: flight}
+	c2 := &Cache{Disk: store, Flight: flight}
+
+	const key = "flight/fragile"
+	boom := errors.New("leader build failed")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := GetAs(c1, key, func() (payload, error) {
+			close(started)
+			<-release
+			return payload{}, boom
+		})
+		firstErr <- err
+	}()
+	<-started
+
+	secondDone := make(chan error, 1)
+	var rebuilt atomic.Int64
+	go func() {
+		v, err := GetAs(c2, key, func() (payload, error) {
+			rebuilt.Add(1)
+			return buildPayload(3), nil
+		})
+		if err == nil && !reflect.DeepEqual(v, buildPayload(3)) {
+			err = errors.New("waiter decoded a wrong value")
+		}
+		secondDone <- err
+	}()
+	close(release)
+
+	if err := <-firstErr; !errors.Is(err, boom) {
+		t.Errorf("leader error = %v, want %v", err, boom)
+	}
+	if err := <-secondDone; err != nil {
+		t.Fatalf("waiter after failed leader: %v", err)
+	}
+	if got := rebuilt.Load(); got != 1 {
+		t.Errorf("waiter built %d times, want 1", got)
+	}
+}

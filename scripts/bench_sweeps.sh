@@ -1,10 +1,12 @@
 #!/bin/sh
 # Runs BenchmarkSweepScaling (the experiment scheduler's Jobs sweep over
-# the E1 list-ranking and E8 coloring harness sweeps) and
-# BenchmarkWarmSweep (the E1 sweep cold vs warm against the result
-# cache) and writes BENCH_sweeps.json with a provenance meta block,
-# ns/op per benchmark, and each configuration's speedup over the same
-# workload at jobs=1.
+# the E1 list-ranking and E8 coloring harness sweeps), BenchmarkWarmSweep
+# (the E1 sweep cold vs warm against the result cache), and
+# BenchmarkConcurrentJobs (four cold fig1 runs through runner.RunContext
+# at job-level concurrency 1 vs 4 — the axis cmd/serve's -concurrency
+# exposes) and writes BENCH_sweeps.json with a provenance meta block,
+# ns/op per benchmark, each configuration's speedup over the same
+# workload at jobs=1, and the concurrent-jobs speedup over conc=1.
 # Each benchmark runs -count 3 and the minimum ns/op is kept — the
 # standard noise-robust statistic on shared machines. Note the scheduler
 # caps jobs at GOMAXPROCS, so on hosts with fewer cores than the swept
@@ -29,7 +31,7 @@ cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 # should say which it was.
 gomaxprocs=${GOMAXPROCS:-$cores}
 
-go test -run '^$' -bench 'BenchmarkSweepScaling|BenchmarkWarmSweep' \
+go test -run '^$' -bench 'BenchmarkSweepScaling|BenchmarkWarmSweep|BenchmarkConcurrentJobs' \
     -ldflags "-X pargraph/internal/cmdutil.Commit=$commit" \
     -benchtime 1x -count 3 . | tee "$raw"
 
@@ -78,6 +80,27 @@ END {
         sub(/\/jobs=.*$/, "", wl)
         base = nsop["BenchmarkSweepScaling/" wl "/jobs=1"]
         printf "    \"%s\": %.3f%s\n", b, base / nsop[b], (i < nscale - 1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedup_vs_conc1\": {\n"
+    nconc = 0
+    for (i = 0; i < n; i++) {
+        b = bench[i]
+        if (b ~ /^BenchmarkConcurrentJobs\//) {
+            wl = b
+            sub(/^BenchmarkConcurrentJobs\//, "", wl)
+            sub(/\/conc=.*$/, "", wl)
+            base = nsop["BenchmarkConcurrentJobs/" wl "/conc=1"]
+            if (base + 0 > 0) conc[nconc++] = b
+        }
+    }
+    for (i = 0; i < nconc; i++) {
+        b = conc[i]
+        wl = b
+        sub(/^BenchmarkConcurrentJobs\//, "", wl)
+        sub(/\/conc=.*$/, "", wl)
+        base = nsop["BenchmarkConcurrentJobs/" wl "/conc=1"]
+        printf "    \"%s\": %.3f%s\n", b, base / nsop[b], (i < nconc - 1 ? "," : "")
     }
     printf "  }\n"
     printf "}\n"

@@ -6,6 +6,12 @@
 # entirely from the shared result store (zero computed cells), and a
 # SIGTERM must drain the server to a clean exit 0.
 #
+# A second phase restarts the server with -concurrency 4 on a fresh
+# cache directory and submits four distinct specs at once: every
+# artifact must still match the CLI bytes, and /metrics must show the
+# jobs actually overlapped (jobs_running_peak >= 2) and export latency
+# quantiles.
+#
 # Usage: scripts/check_serve.sh
 set -eu
 
@@ -50,11 +56,11 @@ done
 [ -n "$port" ] || { echo "FAIL: server never announced its port"; cat "$work/server.log"; exit 1; }
 base="http://localhost:$port"
 
-# submit <out>: POST the spec, print the job id.
+# submit <specfile> <out>: POST the spec, print the job id.
 submit() {
-    curl -sS --fail-with-body --data-binary @"$spec" "$base/jobs" >"$1" || {
-        echo "FAIL: job submission rejected:"; cat "$1"; exit 1; }
-    field "$1" id
+    curl -sS --fail-with-body --data-binary @"$1" "$base/jobs" >"$2" || {
+        echo "FAIL: job submission rejected:"; cat "$2"; exit 1; }
+    field "$2" id
 }
 
 # poll <id> <out>: wait for the job to leave pending/running.
@@ -71,7 +77,7 @@ poll() {
     return 1
 }
 
-id=$(submit "$work/submit1.json")
+id=$(submit "$spec" "$work/submit1.json")
 poll "$id" "$work/job1.json" || fail=1
 
 if [ "$fail" = 0 ]; then
@@ -91,7 +97,7 @@ fi
 
 # Second submission: pure cache replay — zero re-simulated cells, same
 # report bytes.
-id2=$(submit "$work/submit2.json")
+id2=$(submit "$spec" "$work/submit2.json")
 poll "$id2" "$work/job2.json" || fail=1
 if [ "$fail" = 0 ]; then
     computed2=$(sed -n '/"cells"/,/}/s/^ *"computed": \([0-9]*\).*/\1/p' "$work/job2.json")
@@ -121,6 +127,75 @@ if [ "$rc" = 0 ]; then
 else
     echo "FAIL: server exited $rc on SIGTERM"
     cat "$work/server.log"
+    fail=1
+fi
+
+# --- Concurrent phase: 4 distinct specs against -concurrency 4 -------
+# Each spec gets a CLI reference run first (shared CLI cache — only the
+# bytes matter), then all four are submitted back to back against a
+# fresh, cold server cache so the jobs genuinely overlap.
+conc_specs="e1_fig1 e2_fig2 e5_saturation e6_streams"
+for name in $conc_specs; do
+    [ -f "$work/cli/$name.json" ] && continue
+    (cd "$work/cli" && "$bin/figures" -spec "$root/specs/$name.toml" -cache-dir "$work/clicache" >/dev/null 2>&1)
+    [ -f "$work/cli/$name.json" ] || { echo "FAIL: CLI reference run for $name wrote no report"; exit 1; }
+done
+
+"$bin/serve" -addr localhost:0 -cache-dir "$work/cache_conc" -concurrency 4 2>"$work/server_conc.log" &
+server_pid=$!
+port=""
+for _ in $(seq 50); do
+    port=$(sed -n 's#.*listening on http://[^:]*:\([0-9]*\)$#\1#p' "$work/server_conc.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "FAIL: concurrent server never announced its port"; cat "$work/server_conc.log"; exit 1; }
+base="http://localhost:$port"
+
+ids=""
+for name in $conc_specs; do
+    ids="$ids $(submit "$root/specs/$name.toml" "$work/submit_$name.json")"
+done
+
+set -- $conc_specs
+for id in $ids; do
+    name=$1; shift
+    poll "$id" "$work/job_$name.json" || fail=1
+    if [ "$fail" = 0 ]; then
+        curl -sS "$base/jobs/$id/artifacts/report" >"$work/http_$name.json"
+        if cmp -s "$work/http_$name.json" "$work/cli/$name.json"; then
+            echo "ok: concurrent $name report byte-identical to the CLI run"
+        else
+            echo "FAIL: concurrent $name report differs from CLI bytes"
+            fail=1
+        fi
+    fi
+done
+
+curl -sS "$base/metrics" >"$work/metrics_conc.txt"
+grep -q '^jobs_done 4$' "$work/metrics_conc.txt" || {
+    echo "FAIL: concurrent metrics do not report 4 done jobs:"; cat "$work/metrics_conc.txt"; fail=1; }
+peak=$(sed -n 's/^jobs_running_peak \([0-9]*\)$/\1/p' "$work/metrics_conc.txt")
+if [ -n "$peak" ] && [ "$peak" -ge 2 ]; then
+    echo "ok: jobs overlapped (jobs_running_peak=$peak)"
+else
+    echo "FAIL: jobs never overlapped (jobs_running_peak='${peak:-missing}')"
+    fail=1
+fi
+for metric in 'job_seconds{quantile="0.95"}' 'cell_seconds{quantile="0.95"}'; do
+    grep -qF "$metric" "$work/metrics_conc.txt" || {
+        echo "FAIL: /metrics is missing $metric"; fail=1; }
+done
+
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" = 0 ]; then
+    echo "ok: concurrent server drained to a clean exit"
+else
+    echo "FAIL: concurrent server exited $rc on SIGTERM"
+    cat "$work/server_conc.log"
     fail=1
 fi
 
